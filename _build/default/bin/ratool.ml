@@ -1,0 +1,523 @@
+(* ratool: command-line front end for every experiment in the reproduction.
+   Each subcommand regenerates one of the paper's artifacts. *)
+
+open Cmdliner
+open Ra_experiments
+
+let seed_arg =
+  let doc = "Random seed driving the deterministic simulation." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trials_arg default =
+  let doc = "Monte-Carlo trials per data point." in
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc)
+
+(* --- fig1: on-demand protocol timeline ------------------------------- *)
+
+let scheme_arg =
+  let doc = "Scheme: smart, no-lock, all-lock, dec-lock, inc-lock, cpy-lock or smarm." in
+  Arg.(value & opt string "smart" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let run_fig1 seed scheme_name =
+  match Ra_core.Scheme.of_name scheme_name with
+  | None -> `Error (false, "unknown scheme: " ^ scheme_name)
+  | Some scheme ->
+    let device =
+      Ra_device.Device.create
+        { Ra_device.Device.default_config with Ra_device.Device.seed }
+    in
+    let verifier = Ra_core.Verifier.of_device device in
+    let result = ref None in
+    Ra_core.Protocol.on_demand device verifier
+      { Ra_core.Mp.default_config with Ra_core.Mp.scheme }
+      ~net_delay:(Ra_sim.Timebase.ms 40)
+      ~auth_time:(Ra_sim.Timebase.us 200)
+      ~on_done:(fun events -> result := Some events)
+      ();
+    Ra_device.Device.run device;
+    (match !result with
+    | None -> `Error (false, "protocol did not complete")
+    | Some events ->
+      Printf.printf "Fig. 1 / E1 — on-demand RA timeline (%s)\n\n"
+        scheme.Ra_core.Scheme.name;
+      print_string (Ra_core.Timeline.render (Ra_core.Protocol.events_to_markers events));
+      Printf.printf "\nverdict: %s\n"
+        (Ra_core.Verifier.verdict_to_string events.Ra_core.Protocol.verdict);
+      `Ok ())
+
+let fig1_cmd =
+  let info = Cmd.info "timeline" ~doc:"Fig. 1: on-demand RA protocol timeline" in
+  Cmd.v info Term.(ret (const run_fig1 $ seed_arg $ scheme_arg))
+
+(* --- fig2 -------------------------------------------------------------- *)
+
+let run_fig2 () =
+  let cost = Ra_device.Cost_model.odroid_xu4 in
+  print_string (Fig2.render cost);
+  print_newline ();
+  print_string (Fig2.render_claims cost);
+  print_newline ();
+  print_string (Fig2.crossover_table cost)
+
+let fig2_cmd =
+  let info = Cmd.info "fig2" ~doc:"Fig. 2: hash and signature timings (model)" in
+  Cmd.v info Term.(const run_fig2 $ const ())
+
+(* --- table1 ------------------------------------------------------------ *)
+
+let run_table1 seed trials = print_string (Table1.render ~trials ~seed ())
+
+let table1_cmd =
+  let info = Cmd.info "table1" ~doc:"Table 1: measured feature matrix" in
+  Cmd.v info Term.(const run_table1 $ seed_arg $ trials_arg 40)
+
+(* --- fig4 -------------------------------------------------------------- *)
+
+let run_fig4 seed = print_string (Fig4.render ~seed ())
+
+let fig4_cmd =
+  let info = Cmd.info "fig4" ~doc:"Fig. 4: temporal-consistency windows" in
+  Cmd.v info Term.(const run_fig4 $ seed_arg)
+
+(* --- fig5 / qoa --------------------------------------------------------- *)
+
+let run_fig5 seed trials =
+  print_string (Fig5.render_story ~seed ());
+  print_newline ();
+  print_string
+    (Fig5.detection_sweep ~seed ~trials ~t_m:(Ra_sim.Timebase.s 10)
+       ~dwells:(List.map Ra_sim.Timebase.s [ 1; 2; 4; 6; 8; 10; 12 ])
+       ());
+  print_newline ();
+  print_string (Fig5.freshness_table ())
+
+let fig5_cmd =
+  let info = Cmd.info "qoa" ~doc:"Fig. 5: Quality of Attestation (ERASMUS)" in
+  Cmd.v info Term.(const run_fig5 $ seed_arg $ trials_arg 60)
+
+(* --- smarm -------------------------------------------------------------- *)
+
+let run_smarm seed trials =
+  print_string (Smarm_sweep.sweep_rounds ~blocks:64 ~max_rounds:14 ~game_trials:200000 ~seed);
+  print_newline ();
+  print_string (Smarm_sweep.sweep_blocks ~blocks_list:[ 4; 16; 64; 256; 1024 ] ~trials:200000 ~seed);
+  let escape, (lo, hi) = Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials ~seed in
+  Printf.printf
+    "\nfull-device simulation, 1 round, B=64: escape %.3f (95%% CI %.3f-%.3f, theory %.3f)\n"
+    escape lo hi (Ra_core.Smarm.per_round_escape_probability ~blocks:64)
+
+let smarm_cmd =
+  let info = Cmd.info "smarm" ~doc:"Section 3.2: SMARM escape probabilities" in
+  Cmd.v info Term.(const run_smarm $ seed_arg $ trials_arg 200)
+
+(* --- fire alarm ---------------------------------------------------------- *)
+
+let run_fire seed = print_string (Fire_alarm.render ~seed ())
+
+let fire_cmd =
+  let info = Cmd.info "fire-alarm" ~doc:"Section 2.5: alarm latency during MP" in
+  Cmd.v info Term.(const run_fire $ seed_arg)
+
+(* --- ablations ------------------------------------------------------------ *)
+
+let run_ablations seed =
+  print_string (Ablations.lock_granularity ~seed ());
+  print_newline ();
+  print_string (Ablations.measurement_order ~seed ());
+  print_newline ();
+  print_string (Ablations.smarm_block_count ~seed ());
+  print_newline ();
+  print_string (Ablations.zero_data_countermeasure ~seed ());
+  print_newline ();
+  print_string (Ablations.platform_contrast ());
+  print_newline ();
+  print_string (Ablations.hybrid_schemes ())
+
+let ablations_cmd =
+  let info = Cmd.info "ablations" ~doc:"Design-choice ablations" in
+  Cmd.v info Term.(const run_ablations $ seed_arg)
+
+(* --- schedulability ------------------------------------------------------------------- *)
+
+let run_sched _seed = print_string (Ra_device.Taskset.schedulability_table ())
+
+let sched_cmd =
+  let info = Cmd.info "schedulability" ~doc:"Task-set deadline misses under attestation" in
+  Cmd.v info Term.(const run_sched $ seed_arg)
+
+(* --- advisor ------------------------------------------------------------------------ *)
+
+let run_advisor () =
+  print_string (Advisor.render Advisor.default_profile);
+  print_newline ();
+  print_string
+    (Advisor.render
+       { Advisor.default_profile with Advisor.has_shadow_memory = true });
+  print_newline ();
+  print_string
+    (Advisor.render
+       {
+         Advisor.default_profile with
+         Advisor.unattended = true;
+         has_secure_clock = true;
+         hard_deadline_ms = None;
+       })
+
+let advisor_cmd =
+  let info = Cmd.info "advise" ~doc:"Rank schemes for a deployment profile" in
+  Cmd.v info Term.(const run_advisor $ const ())
+
+(* --- report wire format demo ----------------------------------------------------- *)
+
+let run_report seed =
+  let device =
+    Ra_device.Device.create
+      { Ra_device.Device.default_config with Ra_device.Device.seed; block_size = 256 }
+  in
+  let verifier = Ra_core.Verifier.of_device device in
+  let report = ref None in
+  Ra_core.Mp.run device Ra_core.Mp.default_config
+    ~nonce:(Ra_sim.Prng.bytes (Ra_sim.Engine.prng device.Ra_device.Device.engine) 16)
+    ~on_complete:(fun r -> report := Some r)
+    ();
+  Ra_device.Device.run device;
+  match !report with
+  | None -> print_endline "measurement did not complete"
+  | Some r ->
+    let wire = Ra_core.Report.encode r in
+    Printf.printf "encoded report: %d bytes\n" (Bytes.length wire);
+    let hex = Ra_crypto.Bytesutil.to_hex wire in
+    let rec dump i =
+      if i < String.length hex then begin
+        Printf.printf "  %s\n" (String.sub hex i (min 64 (String.length hex - i)));
+        dump (i + 64)
+      end
+    in
+    dump 0;
+    (match Ra_core.Report.decode wire with
+    | Ok decoded ->
+      Printf.printf "decoded ok; verdict: %s\n"
+        (Ra_core.Verifier.verdict_to_string (Ra_core.Verifier.verify verifier decoded))
+    | Error e -> Printf.printf "decode failed: %s\n" e)
+
+let report_cmd =
+  let info = Cmd.info "report" ~doc:"Encode, dump, decode and verify one report" in
+  Cmd.v info Term.(const run_report $ seed_arg)
+
+(* --- fleet rollout ----------------------------------------------------------------- *)
+
+let run_rollout _seed =
+  print_endline "E-RO — attested firmware rollout across a fleet";
+  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "rollout-master") in
+  let config =
+    { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
+  in
+  let ids = [ "pump-a"; "pump-b"; "valve-1"; "valve-2" ] in
+  List.iter (fun id -> ignore (Ra_core.Fleet.provision fleet id ~config ())) ids;
+  (* valve-2's erasure code is compromised: it protects block 11 *)
+  List.iter
+    (fun id ->
+      let device = Ra_core.Fleet.device fleet id in
+      let cheat_blocks = if id = "valve-2" then [ 11 ] else [] in
+      let outcome = ref None in
+      Ra_core.Code_update.run device Ra_core.Code_update.default_config
+        ~cheat_blocks ~new_seed:90210
+        ~on_done:(fun o -> outcome := Some o)
+        ();
+      Ra_device.Device.run device;
+      match !outcome with
+      | None -> Printf.printf "%-10s update hung\n" id
+      | Some o ->
+        Printf.printf "%-10s erasure=%-8s update=%-8s completed=%s\n" id
+          (if o.Ra_core.Code_update.erasure_proof_ok then "proved" else "REJECTED")
+          (Ra_core.Verifier.verdict_to_string o.Ra_core.Code_update.update_verdict)
+          (Ra_sim.Timebase.to_string o.Ra_core.Code_update.completed_at))
+    ids
+
+let rollout_cmd =
+  let info = Cmd.info "rollout" ~doc:"Erase-then-update a whole fleet" in
+  Cmd.v info Term.(const run_rollout $ seed_arg)
+
+(* --- incremental attestation --------------------------------------------------- *)
+
+let run_incremental seed = print_string (Incremental_eval.render ~seed ())
+
+let incremental_cmd =
+  let info = Cmd.info "incremental" ~doc:"Merkle-tree incremental attestation" in
+  Cmd.v info Term.(const run_incremental $ seed_arg)
+
+(* --- latency profile --------------------------------------------------------- *)
+
+let run_latency seed = print_string (Latency_profile.render ~seed ())
+
+let latency_cmd =
+  let info = Cmd.info "latency" ~doc:"Real-time latency percentiles and lock Gantts" in
+  Cmd.v info Term.(const run_latency $ seed_arg)
+
+(* --- hydra --------------------------------------------------------------------- *)
+
+let run_hydra _seed =
+  let open Ra_hydra in
+  print_endline "E-HY — HYDRA: SMART rules as seL4-style capabilities";
+  let device =
+    Ra_device.Device.create
+      { Ra_device.Device.default_config with Ra_device.Device.blocks = 16; block_size = 256 }
+  in
+  let hydra =
+    Hydra.build device
+      ~apps:
+        [
+          { Hydra.pid = "sensor"; first_block = 0; block_span = 8; priority = 10 };
+          { Hydra.pid = "logger"; first_block = 8; block_span = 8; priority = 4 };
+        ]
+  in
+  let verifier = Ra_core.Verifier.of_device device in
+  let report = ref None in
+  Hydra.attest hydra ~nonce:(Bytes.of_string "cli-demo")
+    ~on_complete:(fun r -> report := Some r)
+    ();
+  Ra_device.Device.run device;
+  (match !report with
+  | Some r ->
+    Printf.printf "attestation of the pristine device: %s\n"
+      (Ra_core.Verifier.verdict_to_string (Ra_core.Verifier.verify verifier r))
+  | None -> print_endline "attestation did not complete");
+  Printf.printf "attestation priority: %d (apps max: 10) -> de-facto atomic\n"
+    (Hydra.mp_priority hydra);
+  let show_access label result =
+    Printf.printf "%-44s %s\n" label
+      (match result with Ok _ -> "ALLOWED" | Error e -> "denied (" ^ e ^ ")")
+  in
+  show_access "hydra-mp reads the attestation key" (Hydra.read_key hydra Hydra.mp_pid);
+  show_access "sensor reads the attestation key" (Hydra.read_key hydra "sensor");
+  show_access "sensor writes its own region"
+    (Hydra.guarded_write hydra "sensor" ~block:2 ~offset:0 (Bytes.of_string "ok"));
+  show_access "sensor writes logger's region"
+    (Hydra.guarded_write hydra "sensor" ~block:12 ~offset:0 (Bytes.of_string "x"));
+  Printf.printf "audited denials: %d\n" (List.length (Hydra.denials hydra))
+
+let hydra_cmd =
+  let info = Cmd.info "hydra" ~doc:"HYDRA capability-based SMART rules" in
+  Cmd.v info Term.(const run_hydra $ seed_arg)
+
+(* --- seed demo ------------------------------------------------------------- *)
+
+let run_seed_demo seed =
+  let device =
+    Ra_device.Device.create
+      { Ra_device.Device.default_config with Ra_device.Device.seed; block_size = 256 }
+  in
+  let eng = device.Ra_device.Device.engine in
+  let verifier = Ra_core.Verifier.of_device device in
+  let inbox = ref [] in
+  let config =
+    {
+      Ra_core.Seed_ra.default_config with
+      Ra_core.Seed_ra.shared_seed = seed;
+      mean_interval = Ra_sim.Timebase.s 20;
+    }
+  in
+  let prover =
+    Ra_core.Seed_ra.start device config ~send:(fun (t, r) -> inbox := (t, r) :: !inbox)
+  in
+  Ra_sim.Engine.run ~until:(Ra_sim.Timebase.minutes 3) eng;
+  Ra_core.Seed_ra.stop prover;
+  Ra_sim.Engine.run ~until:(Ra_sim.Timebase.add (Ra_sim.Timebase.minutes 3) (Ra_sim.Timebase.s 30)) eng;
+  let received = List.rev !inbox in
+  let expected =
+    Ra_core.Seed_ra.schedule ~shared_seed:seed ~mean_interval:config.Ra_core.Seed_ra.mean_interval
+      ~first_after:Ra_sim.Timebase.zero ~count:(List.length received)
+  in
+  let outcome =
+    Ra_core.Seed_ra.monitor verifier ~expected ~tolerance:(Ra_sim.Timebase.s 10) received
+  in
+  Printf.printf
+    "E9 — SeED: %d reports sent; verifier outcome: accepted=%d tampered=%d replayed=%d missing=%d\n"
+    (Ra_core.Seed_ra.reports_sent prover)
+    outcome.Ra_core.Seed_ra.accepted outcome.Ra_core.Seed_ra.tampered
+    outcome.Ra_core.Seed_ra.replayed outcome.Ra_core.Seed_ra.missing;
+  (* replay attack: re-deliver the first report at the end *)
+  match received with
+  | [] -> ()
+  | first :: _ ->
+    let replayed_stream = received @ [ first ] in
+    let outcome =
+      Ra_core.Seed_ra.monitor verifier ~expected ~tolerance:(Ra_sim.Timebase.s 10)
+        replayed_stream
+    in
+    Printf.printf "with a replayed first report: replayed=%d (detected)\n"
+      outcome.Ra_core.Seed_ra.replayed
+
+let seed_cmd =
+  let info = Cmd.info "seed-demo" ~doc:"Section 3.3: SeED non-interactive attestation" in
+  Cmd.v info Term.(const run_seed_demo $ seed_arg)
+
+(* --- dos --------------------------------------------------------------------- *)
+
+let run_dos seed = print_string (Dos.render ~seed ())
+
+let dos_cmd =
+  let info = Cmd.info "dos" ~doc:"Section 3.3: request-flooding resilience" in
+  Cmd.v info Term.(const run_dos $ seed_arg)
+
+(* --- swatt ------------------------------------------------------------------ *)
+
+let run_swatt seed =
+  print_endline "E-SW — software-based attestation (Section 2.1 background)";
+  print_string
+    (Ra_core.Swatt.separation_table ~seed Ra_core.Swatt.default_config ~overhead:1.15
+       ~jitter_levels:[ 0.0; 0.01; 0.05; 0.15; 0.30; 0.60 ]);
+  print_endline
+    "With jitter comparable to the adversary's overhead margin, no threshold\n\
+     separates honest from compromised runs: the paper calls the security\n\
+     of this approach uncertain."
+
+let swatt_cmd =
+  let info = Cmd.info "swatt" ~doc:"Software-based attestation timing analysis" in
+  Cmd.v info Term.(const run_swatt $ seed_arg)
+
+(* --- heartbeat --------------------------------------------------------------- *)
+
+let run_heartbeat seed =
+  let open Ra_swarm in
+  let config = { Heartbeat.default_config with Heartbeat.seed } in
+  print_endline "E-HB — DARPA-style absence detection (physical capture)";
+  let capture =
+    { Heartbeat.node = 5; from_ = Ra_sim.Timebase.s 20; until_ = Ra_sim.Timebase.s 30 }
+  in
+  let r = Heartbeat.run config ~captures:[ capture ] in
+  Printf.printf
+    "capture of node 5 for 10 s: alarmed=[%s] true=%d false=%d missed=%d (heartbeats %d)
+"
+    (String.concat "; " (List.map string_of_int r.Heartbeat.alarmed))
+    r.Heartbeat.true_alarms r.Heartbeat.false_alarms r.Heartbeat.missed
+    r.Heartbeat.heartbeats;
+  print_newline ();
+  print_string
+    (Heartbeat.threshold_sweep
+       { config with Heartbeat.loss = 0.2 }
+       ~capture_length:(Ra_sim.Timebase.s 6)
+       ~factors:[ 1.5; 2.5; 4.0; 7.0 ])
+
+let heartbeat_cmd =
+  let info = Cmd.info "heartbeat" ~doc:"Physical-capture absence detection" in
+  Cmd.v info Term.(const run_heartbeat $ seed_arg)
+
+(* --- fleet -------------------------------------------------------------------- *)
+
+let run_fleet seed =
+  ignore seed;
+  print_endline "E-FL — fleet attestation with HKDF-derived per-device keys";
+  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "demo-master-secret") in
+  let config =
+    { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
+  in
+  let ids = [ "hvac-1"; "hvac-2"; "door-lock"; "smoke-3"; "camera-9" ] in
+  List.iter (fun id -> ignore (Ra_core.Fleet.provision fleet id ~config ())) ids;
+  let infected = Ra_core.Fleet.device fleet "door-lock" in
+  let rng = Ra_sim.Prng.split (Ra_sim.Engine.prng infected.Ra_device.Device.engine) in
+  ignore
+    (Ra_malware.Malware.install infected ~rng ~block:10 ~priority:8
+       Ra_malware.Malware.Static);
+  let roll = Ra_core.Fleet.attest_all fleet Ra_core.Mp.default_config in
+  Printf.printf "clean:    %s
+" (String.concat ", " roll.Ra_core.Fleet.clean);
+  Printf.printf "tampered: %s
+" (String.concat ", " roll.Ra_core.Fleet.tampered)
+
+let fleet_cmd =
+  let info = Cmd.info "fleet" ~doc:"Multi-device attestation with derived keys" in
+  Cmd.v info Term.(const run_fleet $ seed_arg)
+
+(* --- swarm ----------------------------------------------------------------- *)
+
+let run_swarm seed =
+  let open Ra_swarm in
+  let config = { Swarm.default_config with Swarm.seed } in
+  let show label result =
+    Printf.printf "%-30s healthy=%3d tampered=%2d unresponsive=%3d messages=%4d duration=%s\n"
+      label result.Swarm.healthy result.Swarm.tampered result.Swarm.unresponsive
+      result.Swarm.messages
+      (Ra_sim.Timebase.to_string result.Swarm.duration)
+  in
+  print_endline "E10 — collective attestation over a spanning tree";
+  show "31 nodes, clean" (Swarm.run config ~infected:[]);
+  show "31 nodes, 3 infected" (Swarm.run config ~infected:[ 4; 11; 27 ]);
+  show "31 nodes, 10% msg loss" (Swarm.run { config with Swarm.loss = 0.1 } ~infected:[ 4 ]);
+  show "127 nodes, clean" (Swarm.run { config with Swarm.nodes = 127 } ~infected:[])
+
+let swarm_cmd =
+  let info = Cmd.info "swarm" ~doc:"Collective (swarm) attestation extension" in
+  Cmd.v info Term.(const run_swarm $ seed_arg)
+
+(* --- all -------------------------------------------------------------------- *)
+
+let run_all seed trials =
+  ignore (run_fig1 seed "smart");
+  print_newline ();
+  run_fig2 ();
+  print_newline ();
+  run_table1 seed trials;
+  print_newline ();
+  run_fig4 seed;
+  print_newline ();
+  run_fig5 seed trials;
+  print_newline ();
+  run_smarm seed trials;
+  print_newline ();
+  run_fire seed;
+  print_newline ();
+  run_ablations seed;
+  print_newline ();
+  run_seed_demo seed;
+  print_newline ();
+  run_swarm seed;
+  print_newline ();
+  run_swatt seed;
+  print_newline ();
+  run_dos seed;
+  print_newline ();
+  run_latency seed;
+  print_newline ();
+  run_incremental seed;
+  print_newline ();
+  run_hydra seed;
+  print_newline ();
+  run_heartbeat seed;
+  print_newline ();
+  run_fleet seed
+
+let all_cmd =
+  let info = Cmd.info "all" ~doc:"Run every experiment" in
+  Cmd.v info Term.(const run_all $ seed_arg $ trials_arg 40)
+
+let main =
+  let doc = "Reproduction harness: RA vs safety-critical operation (DAC'18)" in
+  let info = Cmd.info "ratool" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      fig1_cmd;
+      fig2_cmd;
+      table1_cmd;
+      fig4_cmd;
+      fig5_cmd;
+      smarm_cmd;
+      fire_cmd;
+      ablations_cmd;
+      seed_cmd;
+      swarm_cmd;
+      dos_cmd;
+      sched_cmd;
+      advisor_cmd;
+      report_cmd;
+      rollout_cmd;
+      incremental_cmd;
+      latency_cmd;
+      hydra_cmd;
+      swatt_cmd;
+      heartbeat_cmd;
+      fleet_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/device_lifecycle.ml: Channel Code_update Device Engine Printf Prng Ra_core Ra_device Ra_malware Ra_sim Reliable_protocol Timebase Verifier

@@ -1,0 +1,1 @@
+examples/fire_alarm.ml: Ablations Fire_alarm Ra_experiments

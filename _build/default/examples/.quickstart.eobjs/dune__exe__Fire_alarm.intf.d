@@ -1,0 +1,1 @@
+examples/fire_alarm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Device Engine Mp Printf Prng Protocol Ra_core Ra_device Ra_malware Ra_sim Scheme Timebase Timeline Verifier

@@ -1,0 +1,1 @@
+examples/swarm_attestation.ml: List Printf Ra_sim Ra_swarm Swarm

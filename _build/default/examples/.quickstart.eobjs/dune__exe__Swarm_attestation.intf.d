@@ -1,0 +1,1 @@
+examples/swarm_attestation.mli:

@@ -1,0 +1,82 @@
+(* A device's whole security lifecycle in one run.
+
+   Run with: dune exec examples/device_lifecycle.exe
+
+   1. The provisioned device attests clean over a lossy network (the
+      protocol retries with the same nonce; the prover absorbs duplicates).
+   2. Malware lands; the next attestation flags it despite 40% packet loss.
+   3. Remediation: a proof of secure erasure wipes everything — including a
+      cheating attempt to spare the malware's block, which flips the proof —
+      then new firmware is installed and attested.
+   4. The refreshed device attests clean again. *)
+
+open Ra_sim
+open Ra_device
+open Ra_core
+
+let lossy = { Channel.ideal with Channel.loss = 0.4 }
+
+let attest device verifier label =
+  let result = ref None in
+  Reliable_protocol.run device verifier
+    {
+      Reliable_protocol.default_config with
+      Reliable_protocol.channel = lossy;
+      max_attempts = 10;
+      retry_timeout = Timebase.s 12;
+    }
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run device.Device.engine;
+  match !result with
+  | None -> failwith "session hung"
+  | Some r ->
+    Printf.printf "%-34s verdict=%-8s attempts=%d dup-suppressed=%d measurements=%d\n"
+      label
+      (match r.Reliable_protocol.verdict with
+      | Some v -> Verifier.verdict_to_string v
+      | None -> "timeout")
+      r.Reliable_protocol.attempts r.Reliable_protocol.duplicates_suppressed
+      r.Reliable_protocol.measurements_run
+
+let () =
+  let device = Device.create { Device.default_config with Device.block_size = 256 } in
+  let verifier = Verifier.of_device device in
+
+  print_endline "== 1. healthy device, lossy network ==";
+  attest device verifier "initial attestation";
+
+  print_endline "\n== 2. infection ==";
+  let rng = Prng.split (Engine.prng device.Device.engine) in
+  ignore (Ra_malware.Malware.install device ~rng ~block:23 ~priority:8 Ra_malware.Malware.Static);
+  attest device verifier "attestation after infection";
+
+  print_endline "\n== 3. remediation: erase (cheating attempt first), then update ==";
+  let run_update ?cheat_blocks label =
+    let outcome = ref None in
+    Code_update.run device Code_update.default_config ?cheat_blocks ~new_seed:4242
+      ~on_done:(fun o -> outcome := Some o)
+      ();
+    Engine.run device.Device.engine;
+    match !outcome with
+    | None -> failwith "update hung"
+    | Some o ->
+      Printf.printf "%-34s proof=%-8s malware=%s verdict=%s\n" label
+        (if o.Code_update.erasure_proof_ok then "accepted" else "REJECTED")
+        (if o.Code_update.malware_survived then "resident" else "wiped")
+        (Verifier.verdict_to_string o.Code_update.update_verdict)
+  in
+  (* compromised erasure code tries to protect its own block *)
+  run_update ~cheat_blocks:[ 23 ] "erase, skipping malware's block";
+  (* honest erasure succeeds and the update goes through *)
+  run_update "honest erase + install";
+
+  print_endline "\n== 4. refreshed device ==";
+  let new_verifier =
+    Verifier.create ~key:device.Device.config.Device.key
+      ~expected_image:
+        (Device.firmware_image ~seed:4242 ~size:(Ra_device.Memory.size device.Device.memory))
+      ~block_size:(Ra_device.Memory.block_size device.Device.memory)
+      ~data_blocks:[] ~zero_data:false
+  in
+  attest device new_verifier "attestation of the new firmware"

@@ -1,0 +1,29 @@
+(* The Section 2.5 scenario as a runnable story.
+
+   Run with: dune exec examples/fire_alarm.exe
+
+   A bare-metal fire-alarm application samples its temperature sensor every
+   second. The building's control panel (the verifier) periodically attests
+   the device. A fire breaks out two seconds into a measurement of 1 GiB of
+   memory: under SMART the alarm waits for the whole atomic measurement;
+   under the interruptible schemes it sounds at the next activation. *)
+
+open Ra_experiments
+
+let () =
+  print_endline "A fire breaks out 2 s into an attestation of 1 GiB of memory.";
+  print_endline "The fire-alarm task runs every second and needs 2 ms of CPU.";
+  print_newline ();
+  print_string (Fire_alarm.render ());
+  print_newline ();
+  print_endline
+    "SMART keeps the CPU for the whole measurement (~9.7 s at the paper's\n\
+     ODROID-XU4 rates), so the alarm is late by most of that window — the\n\
+     paper's estimate is ~7 s for 1 GB. Every interruptible scheme lets the\n\
+     app preempt the measurement and the alarm sounds at the next 1 s tick.\n\
+     The locking columns show the other half of the tradeoff: All-Lock and\n\
+     Dec-Lock stall the app's data writes for most of the window, Inc-Lock\n\
+     only while the recently-measured tail stays locked.";
+  print_newline ();
+  print_endline "How the same conflict looks on a slower, low-end MCU:";
+  print_string (Ablations.platform_contrast ())

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char Format Int List Ra_sim String

@@ -1,0 +1,1 @@
+lib/bignum/nat.mli: Bytes Format Ra_sim

@@ -1,0 +1,529 @@
+(* Little-endian arrays of base-2^26 limbs, no leading zero limb. 2^26 keeps
+   every intermediate product and quotient estimate of Knuth's Algorithm D
+   comfortably inside a 63-bit native int. *)
+
+let limb_bits = 26
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero a = Array.length a = 0
+
+let normalise a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int v =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  if v = 0 then zero
+  else begin
+    let rec limbs acc v =
+      if v = 0 then List.rev acc
+      else limbs ((v land limb_mask) :: acc) (v lsr limb_bits)
+    in
+    Array.of_list (limbs [] v)
+  end
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let rec msb v acc = if v = 0 then acc else msb (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + msb a.(n - 1) 0
+  end
+
+let to_int a =
+  if bit_length a > 62 then None
+  else begin
+    let acc = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      acc := (!acc lsl limb_bits) lor a.(i)
+    done;
+    Some !acc
+  end
+
+let compare a b =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Int.compare na nb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (na - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let is_even a = Array.length a = 0 || a.(0) land 1 = 0
+
+let test_bit a i =
+  let limb = i / limb_bits in
+  limb < Array.length a && (a.(limb) lsr (i mod limb_bits)) land 1 = 1
+
+let add a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = max na nb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < na then a.(i) else 0) + (if i < nb then b.(i) else 0) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalise out
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let borrow = ref 0 in
+  for i = 0 to na - 1 do
+    let d = a.(i) - (if i < nb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalise out
+
+let mul a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then zero
+  else begin
+    let out = Array.make (na + nb) 0 in
+    for i = 0 to na - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to nb - 1 do
+        let s = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      out.(i + nb) <- out.(i + nb) + !carry
+    done;
+    normalise out
+  end
+
+let shift_left a bits =
+  if bits < 0 then invalid_arg "Nat.shift_left: negative shift";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let na = Array.length a in
+    let out = Array.make (na + limb_shift + 1) 0 in
+    for i = 0 to na - 1 do
+      let v = a.(i) lsl bit_shift in
+      out.(i + limb_shift) <- out.(i + limb_shift) lor (v land limb_mask);
+      out.(i + limb_shift + 1) <- v lsr limb_bits
+    done;
+    normalise out
+  end
+
+let shift_right a bits =
+  if bits < 0 then invalid_arg "Nat.shift_right: negative shift";
+  if is_zero a || bits = 0 then a
+  else begin
+    let limb_shift = bits / limb_bits and bit_shift = bits mod limb_bits in
+    let na = Array.length a in
+    if limb_shift >= na then zero
+    else begin
+      let n = na - limb_shift in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift > 0 && i + limb_shift + 1 < na then
+            (a.(i + limb_shift + 1) lsl (limb_bits - bit_shift)) land limb_mask
+          else 0
+        in
+        out.(i) <- lo lor hi
+      done;
+      normalise out
+    end
+  end
+
+(* Short division by a single limb. *)
+let divmod_limb a d =
+  let na = Array.length a in
+  let q = Array.make na 0 in
+  let r = ref 0 in
+  for i = na - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalise q, of_int !r)
+
+(* Knuth TAOCP vol. 2 section 4.3.1, Algorithm D. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then divmod_limb a b.(0)
+  else begin
+    let n = Array.length b in
+    (* D1: normalise so the divisor's top limb has its high bit set. *)
+    let top_bits =
+      let rec msb v acc = if v = 0 then acc else msb (v lsr 1) (acc + 1) in
+      msb b.(n - 1) 0
+    in
+    let shift = limb_bits - top_bits in
+    let u_shifted = shift_left a shift in
+    let v = shift_left b shift in
+    assert (Array.length v = n);
+    let m = Array.length u_shifted - n in
+    let u = Array.make (Array.length u_shifted + 1) 0 in
+    Array.blit u_shifted 0 u 0 (Array.length u_shifted);
+    let q = Array.make (m + 1) 0 in
+    let v_top = v.(n - 1) in
+    let v_next = v.(n - 2) in
+    for j = m downto 0 do
+      (* D3: estimate the quotient limb, then correct it at most twice.
+         The loop exits early once r_hat >= base because then
+         q_hat * v_next < base^2 <= r_hat << limb_bits always holds. *)
+      let numerator = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let q_hat = ref (numerator / v_top) in
+      let r_hat = ref (numerator mod v_top) in
+      let adjusting = ref true in
+      while !adjusting do
+        if
+          !q_hat >= base
+          || !q_hat * v_next > (!r_hat lsl limb_bits) lor u.(j + n - 2)
+        then begin
+          decr q_hat;
+          r_hat := !r_hat + v_top;
+          if !r_hat >= base then adjusting := false
+        end
+        else adjusting := false
+      done;
+      (* D4: multiply and subtract. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!q_hat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(j + i) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* D6: rare over-subtraction; add the divisor back once. *)
+        u.(j + n) <- d + base;
+        decr q_hat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !carry2 in
+          u.(j + i) <- s land limb_mask;
+          carry2 := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry2) land limb_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !q_hat
+    done;
+    let r = normalise (Array.sub u 0 n) in
+    (normalise q, shift_right r shift)
+  end
+
+let rem a b = snd (divmod a b)
+
+let mod_add a b ~modulus =
+  let s = add a b in
+  if compare s modulus >= 0 then sub s modulus else s
+
+let mod_sub a b ~modulus =
+  if compare a b >= 0 then sub a b else sub (add a modulus) b
+
+let mod_mul a b ~modulus = rem (mul a b) modulus
+
+let mod_pow ~base:b ~exponent ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let b = rem b modulus in
+    let bits = bit_length exponent in
+    let acc = ref one in
+    for i = bits - 1 downto 0 do
+      acc := mod_mul !acc !acc ~modulus;
+      if test_bit exponent i then acc := mod_mul !acc b ~modulus
+    done;
+    !acc
+  end
+
+(* Montgomery (REDC) exponentiation for odd moduli. Working representation:
+   fixed-width little-endian limb arrays of k = limbs(m), with R = base^k. *)
+module Montgomery = struct
+  type ctx = {
+    m : int array; (* k limbs *)
+    k : int;
+    m_prime : int; (* -m^-1 mod 2^limb_bits *)
+    modulus : t;
+  }
+
+  (* Newton iteration doubles the number of correct low bits each step. *)
+  let neg_inverse_limb m0 =
+    let x = ref 1 in
+    for _ = 1 to 5 do
+      x := !x * (2 - (m0 * !x)) land limb_mask
+    done;
+    (base - !x) land limb_mask
+
+  let create modulus =
+    let k = Array.length modulus in
+    { m = modulus; k; m_prime = neg_inverse_limb modulus.(0); modulus }
+
+  (* REDC over a 2k-limb product held in [p] (length 2k + 1 for carries):
+     result is p / R mod m, written as a fresh k-limb array. *)
+  let redc ctx p =
+    let k = ctx.k in
+    for i = 0 to k - 1 do
+      let u = p.(i) * ctx.m_prime land limb_mask in
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let s = p.(i + j) + (u * ctx.m.(j)) + !carry in
+        p.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      (* propagate the carry above the window *)
+      let j = ref (i + k) in
+      while !carry <> 0 do
+        let s = p.(!j) + !carry in
+        p.(!j) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr j
+      done
+    done;
+    let out = Array.sub p k k in
+    (* at most one final subtraction is needed *)
+    let ge =
+      let rec cmp i =
+        if i < 0 then true
+        else if out.(i) > ctx.m.(i) then true
+        else if out.(i) < ctx.m.(i) then false
+        else cmp (i - 1)
+      in
+      p.(2 * k) <> 0 || cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = out.(i) - ctx.m.(i) - !borrow in
+        if d < 0 then begin
+          out.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          out.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    out
+
+  let mont_mul ctx a b =
+    let k = ctx.k in
+    let p = Array.make ((2 * k) + 1) 0 in
+    for i = 0 to k - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to k - 1 do
+        let s = p.(i + j) + (ai * b.(j)) + !carry in
+        p.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      p.(i + k) <- p.(i + k) + !carry
+    done;
+    redc ctx p
+
+  let widen ctx v =
+    let out = Array.make ctx.k 0 in
+    Array.blit v 0 out 0 (Array.length v);
+    out
+
+  let pow ctx ~base:b ~exponent =
+    (* to Montgomery domain: bR mod m *)
+    let b_mont =
+      widen ctx (rem (shift_left (rem b ctx.modulus) (limb_bits * ctx.k)) ctx.modulus)
+    in
+    let one_mont = widen ctx (rem (shift_left one (limb_bits * ctx.k)) ctx.modulus) in
+    let acc = ref one_mont in
+    let bits = bit_length exponent in
+    for i = bits - 1 downto 0 do
+      acc := mont_mul ctx !acc !acc;
+      if test_bit exponent i then acc := mont_mul ctx !acc b_mont
+    done;
+    (* leave the domain: REDC(acc * 1) = acc / R *)
+    let p = Array.make ((2 * ctx.k) + 1) 0 in
+    Array.blit !acc 0 p 0 ctx.k;
+    normalise (redc ctx p)
+end
+
+let mod_pow_fast ~base:b ~exponent ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else if is_even modulus || Array.length modulus < 2 then
+    mod_pow ~base:b ~exponent ~modulus
+  else Montgomery.pow (Montgomery.create modulus) ~base:b ~exponent
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  if compare a b >= 0 then go a b else go b a
+
+(* Extended Euclid over naturals, tracking Bezout coefficient signs by hand
+   since the representation is unsigned. Invariant: r_i = s_i * c_i * a
+   (mod modulus), with c_i >= 0 and s_i in {-1, +1}. *)
+let mod_inverse a ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  let a = rem a modulus in
+  if is_zero a then None
+  else begin
+    let rec go r0 c0 s0 r1 c1 s1 =
+      if is_zero r1 then
+        if equal r0 one then
+          Some (if s0 > 0 then rem c0 modulus else mod_sub zero (rem c0 modulus) ~modulus)
+        else None
+      else begin
+        let quotient, r2 = divmod r0 r1 in
+        let qc1 = mul quotient c1 in
+        let c2, s2 =
+          if s0 = s1 then
+            if compare c0 qc1 >= 0 then (sub c0 qc1, s0) else (sub qc1 c0, -s1)
+          else (add c0 qc1, s0)
+        in
+        go r1 c1 s1 r2 c2 s2
+      end
+    in
+    go modulus zero 1 a one 1
+  end
+
+(* Local hex helpers so this library stays dependency-free. *)
+let hex_digits = "0123456789abcdef"
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Nat.of_hex: invalid character"
+
+let of_bytes_be b =
+  let n = Bytes.length b in
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    acc := add (shift_left !acc 8) (of_int (Char.code (Bytes.get b i)))
+  done;
+  !acc
+
+let to_bytes_be ?size a =
+  let nbytes = max 1 ((bit_length a + 7) / 8) in
+  let out_size =
+    match size with
+    | None -> nbytes
+    | Some s ->
+      if s < nbytes then invalid_arg "Nat.to_bytes_be: size too small" else s
+  in
+  let out = Bytes.make out_size '\000' in
+  let v = ref a in
+  let i = ref (out_size - 1) in
+  while not (is_zero !v) do
+    let byte =
+      match to_int (rem !v (of_int 256)) with
+      | Some x -> x
+      | None -> assert false
+    in
+    Bytes.set out !i (Char.chr byte);
+    v := shift_right !v 8;
+    decr i
+  done;
+  out
+
+let of_hex s =
+  let s =
+    if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let s = if String.length s mod 2 = 1 then "0" ^ s else s in
+  let n = String.length s / 2 in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  of_bytes_be b
+
+let to_hex a =
+  let b = to_bytes_be a in
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) hex_digits.[v lsr 4];
+    Bytes.set out ((2 * i) + 1) hex_digits.[v land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let of_decimal s =
+  if String.length s = 0 then invalid_arg "Nat.of_decimal: empty";
+  let ten = of_int 10 in
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Nat.of_decimal: invalid character")
+    s;
+  !acc
+
+let to_decimal a =
+  if is_zero a then "0"
+  else begin
+    let ten = of_int 10 in
+    let buf = Buffer.create 32 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod v ten in
+        go q;
+        let d = match to_int r with Some x -> x | None -> assert false in
+        Buffer.add_char buf (Char.chr (Char.code '0' + d))
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let random_below rng ~bound =
+  if is_zero bound then invalid_arg "Nat.random_below: zero bound";
+  let bits = bit_length bound in
+  let nbytes = (bits + 7) / 8 in
+  let top_mask = if bits mod 8 = 0 then 0xff else (1 lsl (bits mod 8)) - 1 in
+  let rec try_once () =
+    let b = Ra_sim.Prng.bytes rng nbytes in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land top_mask));
+    let v = of_bytes_be b in
+    if compare v bound < 0 then v else try_once ()
+  in
+  try_once ()
+
+let pp fmt a = Format.fprintf fmt "0x%s" (to_hex a)

@@ -1,0 +1,87 @@
+(** Arbitrary-precision natural numbers, from scratch.
+
+    Values are immutable. The representation is an array of base-2^26 limbs,
+    little-endian, with no leading zero limb. Sized for the RSA-4096 and
+    ECDSA operations of the paper's Fig. 2 — correctness and clarity over
+    raw speed. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_int : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val of_bytes_be : Bytes.t -> t
+(** Big-endian, leading zeros allowed. *)
+
+val to_bytes_be : ?size:int -> t -> Bytes.t
+(** Minimal big-endian encoding, left-padded with zeros to [size] when
+    given. Raises [Invalid_argument] if the value needs more than [size]
+    bytes. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+
+val of_decimal : string -> t
+(** Parses a base-10 literal. Raises [Invalid_argument] on bad input. *)
+
+val to_decimal : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_even : t -> bool
+
+val bit_length : t -> int
+(** 0 for zero; otherwise the index of the highest set bit plus one. *)
+
+val test_bit : t -> int -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Raises [Invalid_argument] if the result would be negative. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [(quotient, remainder)]. Raises [Division_by_zero]. *)
+
+val rem : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val mod_add : t -> t -> modulus:t -> t
+(** Operands must already be reduced. *)
+
+val mod_sub : t -> t -> modulus:t -> t
+(** Operands must already be reduced. *)
+
+val mod_mul : t -> t -> modulus:t -> t
+
+val mod_pow : base:t -> exponent:t -> modulus:t -> t
+(** Left-to-right square and multiply. Raises [Division_by_zero] for a zero
+    modulus. *)
+
+val mod_pow_fast : base:t -> exponent:t -> modulus:t -> t
+(** Same result as {!mod_pow}; uses Montgomery (REDC) reduction when the
+    modulus is odd (the RSA/ECDSA case), falling back to {!mod_pow}
+    otherwise. Several times faster on RSA-sized moduli. *)
+
+val mod_inverse : t -> modulus:t -> t option
+(** Multiplicative inverse by extended Euclid; [None] if not coprime. *)
+
+val gcd : t -> t -> t
+
+val random_below : Ra_sim.Prng.t -> bound:t -> t
+(** Uniform in [\[0, bound)] by rejection. [bound] must be positive. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal with a [0x] prefix. *)

@@ -1,0 +1,1 @@
+lib/core/code_update.ml: Bytes Cost_model Cpu Device Engine Float List Memory Mp Prng Ra_crypto Ra_device Ra_sim Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/code_update.mli: Ra_crypto Ra_device Ra_sim Timebase Verifier

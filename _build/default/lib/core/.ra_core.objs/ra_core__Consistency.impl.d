@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Device List Memory Mp Ra_crypto Ra_device Ra_sim Report Timebase

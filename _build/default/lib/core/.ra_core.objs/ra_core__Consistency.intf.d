@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Bytes Ra_device Ra_sim Report Timebase

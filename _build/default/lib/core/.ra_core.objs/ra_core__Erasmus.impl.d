@@ -1,0 +1,1 @@
+lib/core/erasmus.ml: Bytes Cpu Device Engine Int64 List Mp Ra_crypto Ra_device Ra_sim Report Timebase

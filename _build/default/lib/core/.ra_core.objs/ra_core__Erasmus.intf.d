@@ -1,0 +1,1 @@
+lib/core/erasmus.mli: Bytes Mp Ra_device Ra_sim Report Timebase

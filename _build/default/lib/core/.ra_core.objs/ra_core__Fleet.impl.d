@@ -1,0 +1,1 @@
+lib/core/fleet.ml: Bytes List Protocol Ra_crypto Ra_device Ra_sim Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/fleet.mli: Bytes Mp Ra_device Ra_sim Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Bytes Cost_model Cpu Device Engine Int List Memory Merkle Ra_crypto Ra_device Ra_sim Timebase Verifier

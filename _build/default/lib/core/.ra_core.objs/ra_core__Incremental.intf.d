@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Bytes Ra_crypto Ra_device Ra_sim Timebase Verifier

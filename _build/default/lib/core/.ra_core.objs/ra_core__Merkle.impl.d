@@ -1,0 +1,1 @@
+lib/core/merkle.ml: Array Bytes List Ra_crypto Ra_device

@@ -1,0 +1,1 @@
+lib/core/merkle.mli: Bytes Ra_crypto Ra_device

@@ -1,0 +1,1 @@
+lib/core/mp.ml: Array Bytes Cost_model Cpu Device Engine Float Int64 List Memory Prng Ra_crypto Ra_device Ra_sim Report Scheme Timebase

@@ -1,0 +1,1 @@
+lib/core/mp.mli: Bytes Ra_crypto Ra_device Report Scheme

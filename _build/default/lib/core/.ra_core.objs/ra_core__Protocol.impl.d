@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Cpu Device Engine Mp Prng Ra_device Ra_sim Report Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Mp Ra_device Ra_sim Report Timebase Verifier

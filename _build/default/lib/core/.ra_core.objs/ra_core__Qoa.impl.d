@@ -1,0 +1,1 @@
+lib/core/qoa.ml: Float Format Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/core/qoa.mli: Format Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/core/reliable_protocol.ml: Bytes Channel Cpu Device Engine Hashtbl Mp Prng Ra_device Ra_sim Report Timebase Verifier

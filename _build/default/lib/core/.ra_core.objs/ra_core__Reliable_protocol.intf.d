@@ -1,0 +1,1 @@
+lib/core/reliable_protocol.mli: Channel Mp Ra_device Ra_sim Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Bytes Char Format List Printf Ra_crypto Ra_device Ra_sim String Timebase

@@ -1,0 +1,1 @@
+lib/core/report.mli: Bytes Format Ra_crypto Ra_device Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Ra_sim String Timebase

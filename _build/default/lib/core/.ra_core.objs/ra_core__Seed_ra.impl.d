@@ -1,0 +1,1 @@
+lib/core/seed_ra.ml: Bytes Device Engine Float Int64 List Mp Prng Ra_crypto Ra_device Ra_sim Report Timebase Verifier

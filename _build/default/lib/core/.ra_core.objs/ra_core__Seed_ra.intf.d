@@ -1,0 +1,1 @@
+lib/core/seed_ra.mli: Mp Ra_device Ra_sim Report Timebase Verifier

@@ -1,0 +1,1 @@
+lib/core/smarm.ml: Device Engine Float List Mp Prng Ra_device Ra_sim Scheme

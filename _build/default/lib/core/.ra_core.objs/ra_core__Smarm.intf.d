@@ -1,0 +1,1 @@
+lib/core/smarm.mli: Mp Ra_device Report

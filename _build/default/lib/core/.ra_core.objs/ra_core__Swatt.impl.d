@@ -1,0 +1,1 @@
+lib/core/swatt.ml: Buffer Bytes Char Int64 List Printf Prng Ra_crypto Ra_sim

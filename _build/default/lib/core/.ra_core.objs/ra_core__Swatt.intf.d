@@ -1,0 +1,1 @@
+lib/core/swatt.mli: Bytes Ra_sim

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Buffer Bytes Char List Printf Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Ra_sim Timebase

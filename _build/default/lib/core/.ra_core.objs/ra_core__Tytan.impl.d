@@ -1,0 +1,1 @@
+lib/core/tytan.ml: Array Bytes Cost_model Cpu Device Engine List Memory Ra_crypto Ra_device Ra_sim Report Verifier

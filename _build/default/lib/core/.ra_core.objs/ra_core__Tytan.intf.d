@@ -1,0 +1,1 @@
+lib/core/tytan.mli: Bytes Ra_crypto Ra_device Report Verifier

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Array Bytes Hashtbl Int List Mp Option Ra_crypto Ra_device Report

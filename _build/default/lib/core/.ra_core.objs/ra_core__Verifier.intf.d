@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Bytes Ra_device Report

@@ -1,0 +1,44 @@
+(** RA-derived services from the paper's introduction: secure deletion via
+    Proofs of Secure Erasure (Perito–Tsudik) and SCUBA-style attested code
+    update.
+
+    PoSE needs no trust anchor: the verifier streams fresh randomness that
+    fills the prover's *entire* memory, and the prover returns a MAC over
+    its memory keyed by that randomness. Malware that wants to survive must
+    keep its own bytes somewhere — and with memory full of expected
+    randomness there is nowhere to hide: any skipped block flips the proof.
+    A clean erasure is then the safe point to install new firmware, after
+    which one ordinary attestation round confirms the update took. *)
+
+open Ra_sim
+
+type config = {
+  receive_ns_per_byte : float;  (** downlink cost of streaming randomness *)
+  priority : int;  (** CPU priority of the erase/install work *)
+  hash : Ra_crypto.Algo.hash;
+}
+
+val default_config : config
+(** 100 ns/byte downlink (~10 MB/s), priority 5, SHA-256. *)
+
+type outcome = {
+  erasure_proof_ok : bool;
+  update_verdict : Verifier.verdict;  (** post-install attestation *)
+  malware_survived : bool;  (** any malware payload byte left in memory *)
+  erased_at : Timebase.t;
+  completed_at : Timebase.t;
+}
+
+val run :
+  Ra_device.Device.t ->
+  config ->
+  ?cheat_blocks:int list ->
+  new_seed:int ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** Full erase-then-update flow starting now. [cheat_blocks] are blocks a
+    compromised erasure routine silently skips (the PoSE adversary);
+    skipping any block makes the proof fail and aborts the update (the
+    [update_verdict] is then [Tampered] by convention). [new_seed]
+    determines the new firmware image, derived identically by both sides. *)

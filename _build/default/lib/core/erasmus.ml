@@ -1,0 +1,99 @@
+open Ra_sim
+open Ra_device
+
+type config = {
+  mp : Mp.config;
+  period : Timebase.t;
+  first_at : Timebase.t;
+  capacity : int;
+  defer_if_app_running : Timebase.t option;
+}
+
+let default_config =
+  {
+    mp = Mp.default_config;
+    period = Timebase.s 10;
+    first_at = Timebase.zero;
+    capacity = 32;
+    defer_if_app_running = None;
+  }
+
+type t = {
+  device : Device.t;
+  config : config;
+  hooks : Mp.hooks;
+  mutable running : bool;
+  mutable counter : int;
+  mutable reports : Report.t list; (* newest first, clipped to capacity *)
+}
+
+let counter_nonce counter =
+  let b = Bytes.create 8 in
+  Ra_crypto.Bytesutil.store64_be b 0 (Int64.of_int counter);
+  b
+
+let store t report =
+  let rec clip n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | r :: rest -> r :: clip (n - 1) rest
+  in
+  t.reports <- clip t.config.capacity (report :: t.reports)
+
+let rec measure t =
+  if t.running then begin
+    let eng = t.device.Device.engine in
+    let busy_with_higher_priority () =
+      match Cpu.running t.device.Device.cpu with
+      | Some (_, priority) -> priority > t.config.mp.Mp.priority
+      | None -> false
+    in
+    match t.config.defer_if_app_running with
+    | Some delay when busy_with_higher_priority () ->
+      Engine.record eng ~tag:"erasmus" "measurement deferred (app running)";
+      ignore (Engine.schedule_after eng ~delay (fun _ -> measure t))
+    | Some _ | None ->
+      t.counter <- t.counter + 1;
+      let counter = t.counter in
+      Engine.recordf eng ~tag:"erasmus" "self-measurement #%d starts" counter;
+      Mp.run t.device
+        { t.config.mp with Mp.counter = Some counter }
+        ~nonce:(counter_nonce counter) ~hooks:t.hooks
+        ~on_complete:(fun report ->
+          store t report;
+          Engine.recordf eng ~tag:"erasmus" "self-measurement #%d stored" counter)
+        ();
+      ignore
+        (Engine.schedule_after eng ~delay:t.config.period (fun _ -> measure t))
+  end
+
+let start device ?(hooks = Mp.null_hooks) config =
+  if config.capacity < 1 then invalid_arg "Erasmus.start: capacity < 1";
+  let t = { device; config; hooks; running = true; counter = 0; reports = [] } in
+  ignore
+    (Engine.schedule device.Device.engine ~at:config.first_at (fun _ -> measure t));
+  t
+
+let stop t = t.running <- false
+
+let stored t = List.rev t.reports
+
+let collect t ~max:limit =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | r :: rest -> r :: take (n - 1) rest
+  in
+  List.rev (take limit t.reports)
+
+let measurements_taken t = t.counter
+
+let on_demand_measure t ~nonce ~on_complete =
+  t.counter <- t.counter + 1;
+  Mp.run t.device
+    { t.config.mp with Mp.counter = Some t.counter }
+    ~hooks:t.hooks ~nonce
+    ~on_complete:(fun report ->
+      store t report;
+      on_complete report)
+    ()

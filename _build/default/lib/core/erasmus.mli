@@ -1,0 +1,40 @@
+(** ERASMUS (Section 3.3): recurrent self-measurements stored on the prover
+    and collected by the verifier later, decoupling measurement frequency
+    (T_M) from collection frequency (T_C). *)
+
+open Ra_sim
+
+type config = {
+  mp : Mp.config;
+  period : Timebase.t;  (** T_M *)
+  first_at : Timebase.t;
+  capacity : int;  (** ring buffer of stored reports *)
+  defer_if_app_running : Timebase.t option;
+      (** context-aware scheduling: postpone by this much when a
+          higher-priority job holds the CPU at the scheduled instant *)
+}
+
+val default_config : config
+(** SMART MP, T_M = 10 s, capacity 32, no deferral. *)
+
+type t
+
+val start : Ra_device.Device.t -> ?hooks:Mp.hooks -> config -> t
+(** Begin the self-measurement schedule. Each measurement carries a fresh
+    monotonic counter (its freshness evidence) and a counter-derived nonce. *)
+
+val stop : t -> unit
+
+val stored : t -> Report.t list
+(** Reports currently held, oldest first, at most [capacity]. *)
+
+val collect : t -> max:int -> Report.t list
+(** What Vrf pulls during a collection visit: up to [max] most recent
+    reports, oldest first. Collected reports stay stored (idempotent). *)
+
+val measurements_taken : t -> int
+
+val on_demand_measure : t -> nonce:Bytes.t -> on_complete:(Report.t -> unit) -> unit
+(** ERASMUS composed with on-demand RA: run an extra measurement right now
+    with the verifier's nonce (maximum freshness), independent of the
+    schedule. *)

@@ -1,0 +1,59 @@
+open Ra_sim
+
+type device_id = string
+
+type t = {
+  master_secret : Bytes.t;
+  mutable roster : (device_id * Ra_device.Device.t) list; (* newest first *)
+}
+
+let create ~master_secret = { master_secret; roster = [] }
+
+let derive_key t id =
+  Ra_crypto.Hkdf.derive ~ikm:t.master_secret
+    ~info:(Bytes.of_string ("ra-safety attestation key v1:" ^ id))
+    ~length:32 ()
+
+(* A public, deterministic firmware seed per device: both sides derive the
+   same benign image without shipping it. *)
+let firmware_seed id =
+  let digest = Ra_crypto.Sha256.digest (Bytes.of_string ("firmware:" ^ id)) in
+  Ra_crypto.Bytesutil.load32_be digest 0
+
+let provision t id ?(config = Ra_device.Device.default_config) () =
+  if List.mem_assoc id t.roster then invalid_arg "Fleet.provision: duplicate id";
+  let device =
+    Ra_device.Device.create
+      {
+        config with
+        Ra_device.Device.key = derive_key t id;
+        seed = firmware_seed id;
+      }
+  in
+  t.roster <- (id, device) :: t.roster;
+  device
+
+let device t id = List.assoc id t.roster
+
+let verifier_for t id = Verifier.of_device (device t id)
+
+let enrolled t = List.rev_map fst t.roster
+
+type roll_call = { clean : device_id list; tampered : device_id list }
+
+let attest_all t ?(net_delay = Timebase.ms 40) mp_config =
+  let clean = ref [] and tampered = ref [] in
+  List.iter
+    (fun (id, dev) ->
+      let verifier = verifier_for t id in
+      let verdict = ref None in
+      Protocol.on_demand dev verifier mp_config ~net_delay
+        ~auth_time:(Timebase.us 200)
+        ~on_done:(fun events -> verdict := Some events.Protocol.verdict)
+        ();
+      Ra_device.Device.run dev;
+      match !verdict with
+      | Some Verifier.Clean -> clean := id :: !clean
+      | Some Verifier.Tampered | None -> tampered := id :: !tampered)
+    (List.rev t.roster);
+  { clean = List.rev !clean; tampered = List.rev !tampered }

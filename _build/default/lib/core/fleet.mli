@@ -1,0 +1,44 @@
+(** Fleet management: one verifier responsible for many provers.
+
+    Each device's attestation key is HKDF-derived from a master secret and
+    the device identifier, so the verifier stores one secret and a device
+    roster rather than per-device key material, and a leaked device key
+    compromises only that device. *)
+
+open Ra_sim
+
+type t
+
+type device_id = string
+
+val create : master_secret:Bytes.t -> t
+
+val derive_key : t -> device_id -> Bytes.t
+(** The 32-byte per-device attestation key. Deterministic per (master,
+    id). *)
+
+val provision :
+  t -> device_id -> ?config:Ra_device.Device.config -> unit -> Ra_device.Device.t
+(** Build a device whose key is the derived key and whose firmware seed is
+    derived from the id; registers the device in the roster. The [config]
+    fields [key] and [seed] are overridden. Raises [Invalid_argument] if
+    the id is already enrolled. *)
+
+val verifier_for : t -> device_id -> Verifier.t
+(** The verifier view (expected image + derived key) for an enrolled
+    device. Raises [Not_found] for unknown ids. *)
+
+val enrolled : t -> device_id list
+(** Roster, in enrolment order. *)
+
+val device : t -> device_id -> Ra_device.Device.t
+(** Raises [Not_found] for unknown ids. *)
+
+type roll_call = {
+  clean : device_id list;
+  tampered : device_id list;
+}
+
+val attest_all : t -> ?net_delay:Timebase.t -> Mp.config -> roll_call
+(** Run the full on-demand protocol against every enrolled device (each on
+    its own engine) and partition the roster by verdict. *)

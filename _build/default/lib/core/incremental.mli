@@ -1,0 +1,53 @@
+(** Incremental attestation over a Merkle tree: after one full measurement,
+    each attestation re-hashes only the blocks written since the previous
+    one (plus log-depth tree paths) and MACs the fresh root. MP cost scales
+    with churn, not memory size — which directly shrinks the Section 2.5
+    availability window.
+
+    The dirty set comes from the memory write journal, standing in for the
+    MPU write-trap / page-dirty-bit hardware a real deployment would use;
+    like that hardware, it also sees the malware's own writes, which is
+    exactly why infection stays detectable. *)
+
+open Ra_sim
+
+type t
+
+val start :
+  Ra_device.Device.t ->
+  ?hash:Ra_crypto.Algo.hash ->
+  ?priority:int ->
+  on_ready:(unit -> unit) ->
+  unit ->
+  t
+(** Build the initial tree with a full-measurement-priced CPU job;
+    [on_ready] fires when the prover can serve incremental attestations. *)
+
+type report = {
+  nonce : Bytes.t;
+  root_mac : Bytes.t;  (** MAC over nonce and the tree root *)
+  dirty_blocks : int;  (** blocks re-hashed this round *)
+  t_start : Timebase.t;
+  t_end : Timebase.t;
+}
+
+val attest : t -> nonce:Bytes.t -> on_complete:(report -> unit) -> unit
+(** Refresh dirty leaves, recompute paths, MAC the root. Raises [Failure]
+    if called before [on_ready]. *)
+
+val expected_root :
+  Ra_crypto.Algo.hash -> expected_image:Bytes.t -> block_size:int -> Bytes.t
+(** The verifier's mirror computation over the benign image. *)
+
+val verify :
+  key:Bytes.t ->
+  hash:Ra_crypto.Algo.hash ->
+  expected_root:Bytes.t ->
+  report ->
+  Verifier.verdict
+
+val attestation_cost :
+  Ra_device.Device.t -> hash:Ra_crypto.Algo.hash -> dirty:int -> Timebase.t
+(** Model cost of one incremental round with [dirty] changed blocks:
+    re-hash each dirty block plus its log-depth path. Used by the harness
+    to chart cost vs churn. *)

@@ -1,0 +1,284 @@
+open Ra_sim
+open Ra_device
+
+type config = {
+  scheme : Scheme.t;
+  hash : Ra_crypto.Algo.hash;
+  signature : Cost_model.signature_alg option;
+  priority : int;
+  counter : int option;
+}
+
+let default_config =
+  {
+    scheme = Scheme.smart;
+    hash = Ra_crypto.Algo.SHA_256;
+    signature = None;
+    priority = 5;
+    counter = None;
+  }
+
+type hooks = {
+  on_start : unit -> unit;
+  on_block_measured : measured:int -> total:int -> unit;
+}
+
+let null_hooks = { on_start = (fun () -> ()); on_block_measured = (fun ~measured:_ ~total:_ -> ()) }
+
+let index_bytes i =
+  let b = Bytes.create 4 in
+  Ra_crypto.Bytesutil.store32_be b 0 i;
+  b
+
+let counter_bytes c =
+  let b = Bytes.create 8 in
+  Ra_crypto.Bytesutil.store64_be b 0 (Int64.of_int c);
+  b
+
+let mac_over ~hash ~key ~nonce ~counter ~order ~block_content =
+  let ctx = Ra_crypto.Mac_stream.create hash ~key in
+  Ra_crypto.Mac_stream.update ctx nonce;
+  (match counter with
+  | Some c -> Ra_crypto.Mac_stream.update ctx (counter_bytes c)
+  | None -> ());
+  Array.iter
+    (fun block ->
+      Ra_crypto.Mac_stream.update ctx (index_bytes block);
+      Ra_crypto.Mac_stream.update ctx (block_content block))
+    order;
+  Ra_crypto.Mac_stream.finalize ctx
+
+(* Shared run state threaded through the per-block continuation chain. *)
+type state = {
+  device : Device.t;
+  config : config;
+  nonce : Bytes.t;
+  hooks : hooks;
+  order : int array;
+  ctx : Ra_crypto.Mac_stream.t;
+  mutable data_copy : (int * Bytes.t) list;
+  t_start : Timebase.t;
+  on_complete : Report.t -> unit;
+}
+
+let engine st = st.device.Device.engine
+let memory st = st.device.Device.memory
+let cost st = st.device.Device.config.Device.cost
+
+let block_duration st =
+  Cost_model.hash_time_raw (cost st) st.config.hash
+    ~bytes:st.device.Device.config.Device.modeled_block_bytes
+
+let lock_duration st n_ops =
+  Timebase.ns (int_of_float (Float.round ((cost st).Cost_model.lock_op_ns *. float_of_int n_ops)))
+
+(* Zero the volatile data regions before measuring (Section 2.3): makes it
+   impossible for malware to hide there and spares the report a data copy. *)
+let zero_data_blocks st =
+  let mem = memory st in
+  let zeroes = Bytes.make (Memory.block_size mem) '\000' in
+  List.iter
+    (fun block ->
+      match Memory.set_block mem ~time:(Engine.now (engine st)) ~block zeroes with
+      | Ok () -> ()
+      | Error (Memory.Locked _) -> ())
+    st.device.Device.config.Device.data_blocks
+
+let apply_initial_locks st =
+  let mem = memory st in
+  match st.config.scheme.Scheme.locking with
+  | Scheme.All_lock | Scheme.All_lock_ext _ | Scheme.Dec_lock ->
+    Memory.lock_all mem;
+    Engine.record (engine st) ~tag:"mp" "lock: all blocks locked"
+  | Scheme.Cpy_lock ->
+    Memory.lock_all_cow mem;
+    Engine.record (engine st) ~tag:"mp" "lock: all blocks cow-locked"
+  | Scheme.No_lock | Scheme.Inc_lock | Scheme.Inc_lock_ext _ -> ()
+
+let finish st ~t_end ~t_release =
+  let mac = Ra_crypto.Mac_stream.finalize st.ctx in
+  let report =
+    {
+      Report.scheme_name = st.config.scheme.Scheme.name;
+      hash = st.config.hash;
+      nonce = st.nonce;
+      order = st.order;
+      mac;
+      data_copy = List.rev st.data_copy;
+      t_start = st.t_start;
+      t_end;
+      t_release;
+      signature = st.config.signature;
+      counter = st.config.counter;
+    }
+  in
+  st.on_complete report
+
+let release_locks st ~t_end k =
+  let mem = memory st in
+  let eng = engine st in
+  match st.config.scheme.Scheme.locking with
+  | Scheme.No_lock | Scheme.Dec_lock -> k t_end
+  | Scheme.All_lock | Scheme.Inc_lock ->
+    Memory.unlock_all ~time:(Engine.now eng) mem;
+    Engine.record eng ~tag:"mp" "lock: all blocks released";
+    k t_end
+  | Scheme.Cpy_lock ->
+    (* Merging the dirty shadows back costs real copy time, so the merged
+       writes land strictly after te: the report stays consistent with the
+       whole frozen window. *)
+    let dirty = ref 0 in
+    for block = 0 to Memory.block_count mem - 1 do
+      if Memory.has_shadow mem block then incr dirty
+    done;
+    let merge_ns =
+      (cost st).Cost_model.copy_ns_per_byte
+      *. float_of_int (!dirty * Memory.block_size mem)
+    in
+    let duration = max 1 (int_of_float (Float.round merge_ns)) in
+    ignore
+      (Cpu.submit st.device.Device.cpu ~name:"mp-merge" ~priority:st.config.priority
+         ~duration
+         ~on_complete:(fun () ->
+           Memory.unlock_all ~time:(Engine.now eng) mem;
+           Engine.recordf eng ~tag:"mp" "lock: %d shadows merged, all blocks released"
+             !dirty;
+           k (Engine.now eng))
+         ())
+  | Scheme.All_lock_ext delay | Scheme.Inc_lock_ext delay ->
+    let t_release = Timebase.add t_end delay in
+    ignore
+      (Engine.schedule eng ~at:t_release (fun _ ->
+           Memory.unlock_all ~time:(Engine.now eng) mem;
+           Engine.record eng ~tag:"mp" "lock: extension over, all blocks released"));
+    k t_release
+
+let sign_then_finish st ~t_end ~t_release =
+  match st.config.signature with
+  | None -> finish st ~t_end ~t_release
+  | Some alg ->
+    ignore
+      (Cpu.submit st.device.Device.cpu ~name:"mp-sign" ~priority:st.config.priority
+         ~duration:(Cost_model.sign_time (cost st) alg)
+         ~on_complete:(fun () -> finish st ~t_end ~t_release)
+         ())
+
+(* Interruptible path: one CPU job per block; measurement state advances in
+   the completion callback, where preempting jobs have already drained. *)
+let rec measure_block st idx =
+  let total = Array.length st.order in
+  let block = st.order.(idx) in
+  let mem = memory st in
+  let eng = engine st in
+  (match st.config.scheme.Scheme.locking with
+  | Scheme.Inc_lock | Scheme.Inc_lock_ext _ ->
+    Memory.lock mem block;
+    Engine.recordf eng ~tag:"mp" "lock: block %d locked (inc)" block
+  | Scheme.No_lock | Scheme.All_lock | Scheme.All_lock_ext _ | Scheme.Dec_lock
+  | Scheme.Cpy_lock -> ());
+  let duration =
+    Timebase.add (block_duration st)
+      (match st.config.scheme.Scheme.locking with
+      | Scheme.Inc_lock | Scheme.Inc_lock_ext _ | Scheme.Dec_lock -> lock_duration st 1
+      | Scheme.No_lock | Scheme.All_lock | Scheme.All_lock_ext _ | Scheme.Cpy_lock ->
+        Timebase.zero)
+  in
+  ignore
+    (Cpu.submit st.device.Device.cpu ~name:"mp" ~priority:st.config.priority ~duration
+       ~on_complete:(fun () ->
+         let content = Memory.read_block mem block in
+         Ra_crypto.Mac_stream.update st.ctx (index_bytes block);
+         Ra_crypto.Mac_stream.update st.ctx content;
+         if Device.is_data_block st.device block && not st.config.scheme.Scheme.zero_data
+         then st.data_copy <- (block, content) :: st.data_copy;
+         (match st.config.scheme.Scheme.locking with
+         | Scheme.Dec_lock ->
+           Memory.unlock ~time:(Engine.now eng) mem block;
+           Engine.recordf eng ~tag:"mp" "lock: block %d released (dec)" block
+         | Scheme.No_lock | Scheme.All_lock | Scheme.All_lock_ext _
+         | Scheme.Inc_lock | Scheme.Inc_lock_ext _ | Scheme.Cpy_lock -> ());
+         Engine.recordf eng ~tag:"mp" "measured block %d (%d/%d)" block (idx + 1) total;
+         st.hooks.on_block_measured ~measured:(idx + 1) ~total;
+         if idx + 1 < total then measure_block st (idx + 1)
+         else begin
+           let t_end = Engine.now eng in
+           Engine.record eng ~tag:"mp" "te: measurement complete";
+           release_locks st ~t_end (fun t_release ->
+               sign_then_finish st ~t_end ~t_release)
+         end)
+       ())
+
+(* Atomic path (SMART): a single uninterruptible CPU job covering setup,
+   every block, and the signature. Nothing else can run, so digesting the
+   whole memory at the end equals its state throughout the window. *)
+let run_atomic st =
+  let total = Array.length st.order in
+  let eng = engine st in
+  let duration =
+    let hashing =
+      Timebase.add
+        (Cost_model.hash_time (cost st) st.config.hash ~bytes:0)
+        (block_duration st * total)
+    in
+    match st.config.signature with
+    | None -> hashing
+    | Some alg -> Timebase.add hashing (Cost_model.sign_time (cost st) alg)
+  in
+  ignore
+    (Cpu.submit st.device.Device.cpu ~atomic:true ~name:"mp" ~priority:st.config.priority
+       ~duration
+       ~on_complete:(fun () ->
+         let mem = memory st in
+         Array.iter
+           (fun block ->
+             let content = Memory.read_block mem block in
+             Ra_crypto.Mac_stream.update st.ctx (index_bytes block);
+             Ra_crypto.Mac_stream.update st.ctx content;
+             if Device.is_data_block st.device block && not st.config.scheme.Scheme.zero_data
+             then st.data_copy <- (block, content) :: st.data_copy)
+           st.order;
+         let t_end = Engine.now eng in
+         Engine.record eng ~tag:"mp" "te: atomic measurement complete";
+         release_locks st ~t_end (fun t_release -> finish st ~t_end ~t_release))
+       ())
+
+let run device config ~nonce ?(hooks = null_hooks) ~on_complete () =
+  let eng = device.Device.engine in
+  let n = Memory.block_count device.Device.memory in
+  let order =
+    match config.scheme.Scheme.order with
+    | Scheme.Sequential -> Array.init n (fun i -> i)
+    | Scheme.Shuffled -> Prng.permutation (Engine.prng eng) n
+  in
+  let st =
+    {
+      device;
+      config;
+      nonce;
+      hooks;
+      order;
+      ctx = Ra_crypto.Mac_stream.create config.hash ~key:device.Device.config.Device.key;
+      data_copy = [];
+      t_start = Engine.now eng;
+      on_complete;
+    }
+  in
+  Engine.recordf eng ~tag:"mp" "ts: %s measurement starts (%d blocks, %s)"
+    config.scheme.Scheme.name n
+    (Ra_crypto.Algo.hash_name config.hash);
+  if config.scheme.Scheme.zero_data then zero_data_blocks st;
+  apply_initial_locks st;
+  Ra_crypto.Mac_stream.update st.ctx nonce;
+  (match config.counter with
+  | Some c -> Ra_crypto.Mac_stream.update st.ctx (counter_bytes c)
+  | None -> ());
+  if config.scheme.Scheme.atomic then run_atomic st
+  else begin
+    hooks.on_start ();
+    (* charge the fixed setup cost as a first small job *)
+    ignore
+      (Cpu.submit device.Device.cpu ~name:"mp" ~priority:config.priority
+         ~duration:(Cost_model.hash_time (cost st) config.hash ~bytes:0)
+         ~on_complete:(fun () -> measure_block st 0)
+         ())
+  end

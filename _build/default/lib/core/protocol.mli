@@ -1,0 +1,34 @@
+(** The on-demand RA protocol of Section 2.2 (Fig. 1): challenge, deferred
+    measurement, report, verification — with explicit network and request
+    authentication delays so the Fig. 1 timeline can be regenerated. *)
+
+open Ra_sim
+
+type events = {
+  request_sent : Timebase.t;
+  request_received : Timebase.t;
+  mp_started : Timebase.t;  (** may lag the request: deferral (Fig. 1) *)
+  mp_finished : Timebase.t;
+  report_sent : Timebase.t;
+  report_received : Timebase.t;
+  verdict : Verifier.verdict;
+  report : Report.t;
+}
+
+val events_to_markers : events -> (string * Timebase.t) list
+(** Labelled instants in order, for {!Timeline.render}. *)
+
+val on_demand :
+  Ra_device.Device.t ->
+  Verifier.t ->
+  Mp.config ->
+  ?hooks:Mp.hooks ->
+  net_delay:Timebase.t ->
+  auth_time:Timebase.t ->
+  on_done:(events -> unit) ->
+  unit ->
+  unit
+(** Run one full round starting now: Vrf draws a fresh nonce and sends the
+    request ([net_delay] later it arrives), the prover authenticates it
+    ([auth_time] of CPU at the MP's priority), runs the MP, and the report
+    travels back. Verification checks both the MAC and nonce freshness. *)

@@ -1,0 +1,97 @@
+open Ra_sim
+open Ra_device
+
+type config = {
+  mp : Mp.config;
+  channel : Channel.config;
+  auth_time : Timebase.t;
+  retry_timeout : Timebase.t;
+  max_attempts : int;
+}
+
+let default_config =
+  {
+    mp = Mp.default_config;
+    channel = Channel.ideal;
+    auth_time = Timebase.us 200;
+    retry_timeout = Timebase.s 15;
+    max_attempts = 4;
+  }
+
+type result = {
+  verdict : Verifier.verdict option;
+  attempts : int;
+  duplicates_suppressed : int;
+  measurements_run : int;
+  completed_at : Timebase.t option;
+}
+
+type prover_session = In_progress | Done of Report.t
+
+let run device verifier config ~on_done () =
+  if config.max_attempts < 1 then invalid_arg "Reliable_protocol: max_attempts < 1";
+  let eng = device.Device.engine in
+  let nonce = Prng.bytes (Engine.prng eng) 16 in
+  let attempts = ref 0 in
+  let suppressed = ref 0 in
+  let measurements = ref 0 in
+  let finished = ref false in
+  (* forward declarations to tie the two channel callbacks together *)
+  let uplink = ref None (* requests: Vrf -> Prv *) in
+  let downlink = ref None (* reports: Prv -> Vrf *) in
+  let send_report report =
+    match !downlink with Some ch -> Channel.send ch report | None -> ()
+  in
+  let sessions : (string, prover_session) Hashtbl.t = Hashtbl.create 4 in
+  let prover_receives request_nonce =
+    let key = Bytes.to_string request_nonce in
+    match Hashtbl.find_opt sessions key with
+    | Some In_progress -> incr suppressed
+    | Some (Done report) ->
+      incr suppressed;
+      send_report report
+    | None ->
+      Hashtbl.replace sessions key In_progress;
+      ignore
+        (Cpu.submit device.Device.cpu ~name:"mp-auth" ~priority:config.mp.Mp.priority
+           ~duration:config.auth_time
+           ~on_complete:(fun () ->
+             incr measurements;
+             Mp.run device config.mp ~nonce:request_nonce
+               ~on_complete:(fun report ->
+                 Hashtbl.replace sessions key (Done report);
+                 send_report report)
+               ())
+           ())
+  in
+  let finish verdict =
+    if not !finished then begin
+      finished := true;
+      on_done
+        {
+          verdict;
+          attempts = !attempts;
+          duplicates_suppressed = !suppressed;
+          measurements_run = !measurements;
+          completed_at =
+            (match verdict with Some _ -> Some (Engine.now eng) | None -> None);
+        }
+    end
+  in
+  let verifier_receives report =
+    if not !finished then finish (Some (Verifier.verify_fresh verifier ~nonce report))
+  in
+  uplink := Some (Channel.create eng config.channel ~deliver:prover_receives);
+  downlink := Some (Channel.create eng config.channel ~deliver:verifier_receives);
+  let rec attempt () =
+    if not !finished then begin
+      if !attempts >= config.max_attempts then finish None
+      else begin
+        incr attempts;
+        Engine.recordf eng ~tag:"protocol" "request attempt %d" !attempts;
+        (match !uplink with Some ch -> Channel.send ch nonce | None -> ());
+        ignore (Engine.schedule_after eng ~delay:config.retry_timeout (fun _ -> attempt ()))
+      end
+    end
+  in
+  attempt ()

@@ -1,0 +1,35 @@
+(** On-demand RA over an unreliable network: retransmission with a stable
+    per-session nonce, and prover-side duplicate suppression so a retried
+    request neither restarts a measurement in flight nor re-measures when
+    the report is already cached. *)
+
+open Ra_sim
+
+type config = {
+  mp : Mp.config;
+  channel : Channel.config;  (** applied to both directions *)
+  auth_time : Timebase.t;
+  retry_timeout : Timebase.t;  (** verifier resends if no report by then *)
+  max_attempts : int;
+}
+
+val default_config : config
+(** SMART MP, ideal channel, 200 us auth, 15 s timeout, 4 attempts. *)
+
+type result = {
+  verdict : Verifier.verdict option;  (** [None]: all attempts timed out *)
+  attempts : int;  (** requests the verifier transmitted *)
+  duplicates_suppressed : int;  (** retried requests absorbed by the prover *)
+  measurements_run : int;  (** MPs actually executed (want: at most 1) *)
+  completed_at : Timebase.t option;
+}
+
+val run :
+  Ra_device.Device.t ->
+  Verifier.t ->
+  config ->
+  on_done:(result -> unit) ->
+  unit ->
+  unit
+(** Start one attestation session now; [on_done] fires at the verified
+    report or after the last attempt's timeout. *)

@@ -1,0 +1,85 @@
+open Ra_sim
+
+type locking =
+  | No_lock
+  | All_lock
+  | All_lock_ext of Timebase.t
+  | Dec_lock
+  | Inc_lock
+  | Inc_lock_ext of Timebase.t
+  | Cpy_lock
+
+type order = Sequential | Shuffled
+
+type t = {
+  name : string;
+  atomic : bool;
+  locking : locking;
+  order : order;
+  zero_data : bool;
+}
+
+let smart =
+  { name = "SMART"; atomic = true; locking = No_lock; order = Sequential; zero_data = false }
+
+let no_lock =
+  { name = "No-Lock"; atomic = false; locking = No_lock; order = Sequential; zero_data = false }
+
+let all_lock =
+  { name = "All-Lock"; atomic = false; locking = All_lock; order = Sequential; zero_data = false }
+
+let all_lock_ext delay =
+  {
+    name = "All-Lock-Ext";
+    atomic = false;
+    locking = All_lock_ext delay;
+    order = Sequential;
+    zero_data = false;
+  }
+
+let dec_lock =
+  { name = "Dec-Lock"; atomic = false; locking = Dec_lock; order = Sequential; zero_data = false }
+
+let inc_lock =
+  { name = "Inc-Lock"; atomic = false; locking = Inc_lock; order = Sequential; zero_data = false }
+
+let inc_lock_ext delay =
+  {
+    name = "Inc-Lock-Ext";
+    atomic = false;
+    locking = Inc_lock_ext delay;
+    order = Sequential;
+    zero_data = false;
+  }
+
+let cpy_lock =
+  { name = "Cpy-Lock"; atomic = false; locking = Cpy_lock; order = Sequential; zero_data = false }
+
+let smarm =
+  { name = "SMARM"; atomic = false; locking = No_lock; order = Shuffled; zero_data = false }
+
+let all_basic = [ smart; no_lock; all_lock; dec_lock; inc_lock; smarm ]
+
+let all_with_extensions = all_basic @ [ cpy_lock ]
+
+let of_name s =
+  let norm =
+    String.lowercase_ascii
+      (String.concat "" (String.split_on_char '-' (String.trim s)))
+  in
+  match norm with
+  | "smart" -> Some smart
+  | "nolock" -> Some no_lock
+  | "alllock" -> Some all_lock
+  | "declock" -> Some dec_lock
+  | "inclock" -> Some inc_lock
+  | "smarm" -> Some smarm
+  | "cpylock" -> Some cpy_lock
+  | _ -> None
+
+let with_zero_data t = { t with zero_data = true; name = t.name ^ "+ZeroData" }
+
+let lock_release_delay t =
+  match t.locking with
+  | All_lock_ext d | Inc_lock_ext d -> Some d
+  | No_lock | All_lock | Dec_lock | Inc_lock | Cpy_lock -> None

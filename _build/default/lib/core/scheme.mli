@@ -1,0 +1,63 @@
+(** The design space of Section 3: how a measurement traverses memory, what
+    it locks, and whether it can be interrupted. *)
+
+open Ra_sim
+
+type locking =
+  | No_lock  (** strawman: nothing locked, no consistency guarantee *)
+  | All_lock  (** everything locked over [\[ts, te\]] *)
+  | All_lock_ext of Timebase.t
+      (** All-Lock held for an extra interval after [te]; released at [tr] *)
+  | Dec_lock  (** all locked at [ts]; each block released once measured *)
+  | Inc_lock  (** blocks locked as measured; all released at [te] *)
+  | Inc_lock_ext of Timebase.t
+      (** Inc-Lock whose full lock is held until [tr] after [te] *)
+  | Cpy_lock
+      (** copy-on-write variant of All-Lock from the temporal-consistency
+          paper: readers see memory frozen over [\[ts, te\]] while writers
+          proceed into shadows that merge at [te] — consistency without
+          stalling the critical task, at a memory cost *)
+
+type order =
+  | Sequential  (** ascending block index; predictable by malware *)
+  | Shuffled  (** secret uniform permutation per measurement (SMARM) *)
+
+type t = {
+  name : string;
+  atomic : bool;  (** SMART-style: the whole MP is one uninterruptible unit *)
+  locking : locking;
+  order : order;
+  zero_data : bool;
+      (** zero volatile data regions before measuring (Section 2.3) *)
+}
+
+val smart : t
+(** Baseline: atomic, sequential, no locks needed (atomicity subsumes them). *)
+
+val no_lock : t
+val all_lock : t
+val all_lock_ext : Timebase.t -> t
+val dec_lock : t
+val inc_lock : t
+val inc_lock_ext : Timebase.t -> t
+
+val cpy_lock : t
+
+val smarm : t
+(** Interruptible, shuffled order, no locks. *)
+
+val all_basic : t list
+(** The schemes of Table 1 (with a 0-extension default where applicable):
+    SMART, No-Lock, All-Lock, Dec-Lock, Inc-Lock, SMARM. *)
+
+val all_with_extensions : t list
+(** {!all_basic} plus Cpy-Lock. *)
+
+val of_name : string -> t option
+(** Accepts e.g. ["smart"], ["no-lock"], ["all-lock"], ["dec-lock"],
+    ["inc-lock"], ["smarm"]. *)
+
+val with_zero_data : t -> t
+
+val lock_release_delay : t -> Timebase.t option
+(** The extension interval for the [_ext] modes, if any. *)

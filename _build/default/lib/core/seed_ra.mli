@@ -1,0 +1,53 @@
+(** SeED (Section 3.3): non-interactive, prover-initiated attestation.
+
+    Trigger instants are derived pseudorandomly from a seed shared with the
+    verifier and kept away from all software on the prover (the paper's
+    dedicated timeout circuit). Reports carry a monotonic counter against
+    replay; the verifier knows when to expect a report, so a communication
+    adversary dropping reports is detected as a gap. *)
+
+open Ra_sim
+
+type config = {
+  mp : Mp.config;
+  shared_seed : int;
+  mean_interval : Timebase.t;
+  first_after : Timebase.t;
+}
+
+val default_config : config
+
+val schedule : shared_seed:int -> mean_interval:Timebase.t -> first_after:Timebase.t -> count:int -> Timebase.t list
+(** The trigger instants both sides derive: each gap is uniform in
+    [\[0.5, 1.5\] * mean_interval] from a seed-keyed stream. *)
+
+type prover
+
+val start :
+  Ra_device.Device.t ->
+  config ->
+  send:(Timebase.t * Report.t -> unit) ->
+  prover
+(** Fires measurements at the schedule instants; [send] models the uplink
+    (a lossy channel or the verifier's inbox). *)
+
+val stop : prover -> unit
+
+val reports_sent : prover -> int
+
+(** Verifier-side monitoring. *)
+
+type outcome = {
+  accepted : int;
+  tampered : int;
+  replayed : int;  (** counter not strictly increasing *)
+  missing : int;  (** expected instants with no report in tolerance *)
+}
+
+val monitor :
+  Verifier.t ->
+  expected:Timebase.t list ->
+  tolerance:Timebase.t ->
+  (Timebase.t * Report.t) list ->
+  outcome
+(** Classify a received stream against the expected schedule. *)

@@ -1,0 +1,32 @@
+open Ra_sim
+open Ra_device
+
+let run_rounds device config ~rounds ?(hooks = Mp.null_hooks) ~on_complete () =
+  if rounds < 1 then invalid_arg "Smarm.run_rounds: rounds < 1";
+  (match config.Mp.scheme.Scheme.order with
+  | Scheme.Shuffled -> ()
+  | Scheme.Sequential -> invalid_arg "Smarm.run_rounds: scheme must shuffle");
+  let eng = device.Device.engine in
+  let rec round k acc =
+    let nonce = Prng.bytes (Engine.prng eng) 16 in
+    Mp.run device config ~nonce ~hooks
+      ~on_complete:(fun report ->
+        let acc = report :: acc in
+        if k + 1 < rounds then round (k + 1) acc
+        else on_complete (List.rev acc))
+      ()
+  in
+  round 0 []
+
+let per_round_escape_probability ~blocks =
+  if blocks < 1 then invalid_arg "Smarm: blocks < 1";
+  let b = float_of_int blocks in
+  ((b -. 1.) /. b) ** b
+
+let escape_probability ~blocks ~rounds =
+  per_round_escape_probability ~blocks ** float_of_int rounds
+
+let rounds_for_target ~blocks ~target =
+  if target <= 0. || target >= 1. then invalid_arg "Smarm: target out of (0,1)";
+  let per_round = per_round_escape_probability ~blocks in
+  int_of_float (Float.ceil (log target /. log per_round))

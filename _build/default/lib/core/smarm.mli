@@ -1,0 +1,27 @@
+(** SMARM (Section 3.2): interruptible measurement over a secret shuffled
+    order, repeated k times so a self-relocating adversary's per-round
+    escape probability of roughly e^-1 decays exponentially. *)
+
+val run_rounds :
+  Ra_device.Device.t ->
+  Mp.config ->
+  rounds:int ->
+  ?hooks:Mp.hooks ->
+  on_complete:(Report.t list -> unit) ->
+  unit ->
+  unit
+(** Run [rounds] successive measurements (fresh nonce each; the permutation
+    is redrawn per round by the shuffled scheme). Reports are delivered in
+    round order. Raises [Invalid_argument] if [rounds < 1] or the config's
+    scheme does not use a shuffled order. *)
+
+val per_round_escape_probability : blocks:int -> float
+(** [(1 - 1/B)^B] — the optimal roving adversary relocates once per block
+    measurement and is caught in each with probability 1/B. Tends to e^-1. *)
+
+val escape_probability : blocks:int -> rounds:int -> float
+(** Per-round probability raised to the number of independent rounds. *)
+
+val rounds_for_target : blocks:int -> target:float -> int
+(** Fewest rounds driving {!escape_probability} below [target]; the paper's
+    "after 13 checks that probability is below 1e-6" sizing rule. *)

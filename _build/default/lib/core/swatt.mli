@@ -1,0 +1,54 @@
+(** Software-based attestation (the Pioneer/SWATT approach of Section 2.1).
+
+    No key and no hardware anchor: the prover runs a challenge-seeded
+    checksum over its memory in a pseudorandom order, and the verifier
+    checks both the checksum value and the *response latency* — malware
+    that redirects reads (to a pristine copy of the regions it modified)
+    produces the right value but pays a per-access overhead.
+
+    The paper's verdict on this class ("security is uncertain", citing the
+    Castelluccia et al. attacks) is reproducible here: once network jitter
+    rivals the adversary's overhead margin, no threshold separates honest
+    from compromised runs. *)
+
+type config = {
+  iterations : int;  (** pseudorandom memory accesses per attestation *)
+  access_ns : float;  (** honest per-access cost *)
+  jitter_ns : float;  (** uniform network/scheduling noise on the response *)
+  slack : float;  (** verifier accepts response times up to
+                      [slack * expected] *)
+}
+
+val default_config : config
+(** 200k accesses, 18 ns each, 50 us jitter, 10% slack. *)
+
+val checksum : memory:Bytes.t -> nonce:Bytes.t -> iterations:int -> int64
+(** The actual checksum computation: a nonce-seeded pseudorandom walk
+    mixing memory words into a 64-bit accumulator. Deterministic; any
+    single flipped byte changes the result with overwhelming probability. *)
+
+type prover =
+  | Honest
+  | Redirecting of { overhead : float }
+      (** malware interposes on every access, multiplying its cost (the
+          classic redirect-to-clean-copy evasion); the checksum value it
+          returns is correct *)
+
+type outcome = {
+  value_ok : bool;
+  time_ok : bool;
+  accepted : bool;  (** both checks passed *)
+  response_ns : float;
+  threshold_ns : float;
+}
+
+val attest :
+  rng:Ra_sim.Prng.t -> config -> memory:Bytes.t -> prover:prover -> outcome
+(** One attestation round: the verifier draws a nonce, the prover computes
+    the checksum (honestly or through the redirection layer), jitter is
+    added, and both checks are evaluated. *)
+
+val separation_table :
+  ?seed:int -> ?trials:int -> config -> overhead:float -> jitter_levels:float list -> string
+(** For each jitter level: honest false-positive rate and compromised
+    detection rate at the configured slack — the uncertainty argument. *)

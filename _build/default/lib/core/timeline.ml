@@ -1,0 +1,48 @@
+open Ra_sim
+
+let render ?(width = 72) markers =
+  match markers with
+  | [] -> invalid_arg "Timeline.render: empty"
+  | _ :: _ ->
+    let times = List.map snd markers in
+    let t_min = List.fold_left min (List.hd times) times in
+    let t_max = List.fold_left max (List.hd times) times in
+    let span = max 1 (Timebase.sub t_max t_min) in
+    let column time = Timebase.sub time t_min * (width - 1) / span in
+    let axis = Bytes.make width '-' in
+    let numbered = List.mapi (fun i (label, time) -> (i + 1, label, time)) markers in
+    List.iter
+      (fun (i, _, time) ->
+        let col = column time in
+        let c = if i < 10 then Char.chr (Char.code '0' + i) else '*' in
+        Bytes.set axis col c)
+      numbered;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf ("|" ^ Bytes.to_string axis ^ "|\n");
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s%s\n" (width - 8) (Timebase.to_string t_min)
+         (Timebase.to_string t_max));
+    List.iter
+      (fun (i, label, time) ->
+        Buffer.add_string buf
+          (Printf.sprintf " [%d] t=%-12s %s\n" i (Timebase.to_string time) label))
+      numbered;
+    Buffer.contents buf
+
+let render_profile ?(width = 72) ~label profile =
+  match profile with
+  | [] -> invalid_arg "Timeline.render_profile: empty"
+  | _ :: _ ->
+    let times = List.map fst profile in
+    let t_min = List.fold_left min (List.hd times) times in
+    let t_max = List.fold_left max (List.hd times) times in
+    let span = max 1 (Timebase.sub t_max t_min) in
+    let strip = Bytes.make width ' ' in
+    List.iter
+      (fun (time, value) ->
+        let col = Timebase.sub time t_min * (width - 1) / span in
+        Bytes.set strip col (if value then '#' else '.'))
+      profile;
+    Printf.sprintf "%s\n|%s|\n%-*s%s\n" label (Bytes.to_string strip) (width - 8)
+      (Timebase.to_string t_min)
+      (Timebase.to_string t_max)

@@ -1,0 +1,21 @@
+(** ASCII timeline rendering for the paper's Figures 1 and 4. *)
+
+open Ra_sim
+
+val render : ?width:int -> (string * Timebase.t) list -> string
+(** Lay labelled instants on a scaled axis:
+
+    {v
+    |--1----2--------3--------4-|
+    0 s                     2.4 s
+     [1] t=0 s        request sent
+     ...
+    v}
+
+    Markers sharing a column are stacked in the legend. The list must be
+    non-empty; [width] is the axis width in columns (default 72). *)
+
+val render_profile :
+  ?width:int -> label:string -> (Timebase.t * bool) list -> string
+(** Render a sampled boolean profile (e.g. a consistency profile) as a
+    strip of [#] (true) and [.] (false) with a time scale. *)

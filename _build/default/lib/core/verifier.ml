@@ -1,0 +1,99 @@
+type t = {
+  key : Bytes.t;
+  expected_image : Bytes.t;
+  block_size : int;
+  data_blocks : int list;
+  zero_data : bool;
+}
+
+type verdict = Clean | Tampered
+
+let verdict_to_string = function Clean -> "clean" | Tampered -> "TAMPERED"
+
+let create ~key ~expected_image ~block_size ~data_blocks ~zero_data =
+  if Bytes.length expected_image mod block_size <> 0 then
+    invalid_arg "Verifier.create: image not a multiple of block size";
+  { key; expected_image; block_size; data_blocks; zero_data }
+
+let of_device device =
+  let config = device.Ra_device.Device.config in
+  let size = config.Ra_device.Device.blocks * config.Ra_device.Device.block_size in
+  {
+    key = config.Ra_device.Device.key;
+    expected_image =
+      Ra_device.Device.firmware_image ~seed:config.Ra_device.Device.seed ~size;
+    block_size = config.Ra_device.Device.block_size;
+    data_blocks = config.Ra_device.Device.data_blocks;
+    zero_data = false;
+  }
+
+let with_zero_data t zero_data = { t with zero_data }
+
+(* distinct, in-range blocks; full coverage is checked separately so that
+   per-process (TyTAN-style) region reports can share the machinery *)
+let valid_order order blocks =
+  let seen = Array.make blocks false in
+  Array.for_all
+    (fun b ->
+      if b < 0 || b >= blocks || seen.(b) then false
+      else begin
+        seen.(b) <- true;
+        true
+      end)
+    order
+
+
+let expected_block_content t report block =
+  if List.mem block t.data_blocks then
+    if t.zero_data then Some (Bytes.make t.block_size '\000')
+    else List.assoc_opt block report.Report.data_copy
+  else
+    Some (Bytes.sub t.expected_image (block * t.block_size) t.block_size)
+
+let expected_mac t report =
+  let blocks = Bytes.length t.expected_image / t.block_size in
+  if not (valid_order report.Report.order blocks) then None
+  else begin
+    (* Gather contents first so a missing data copy aborts cleanly. *)
+    let contents =
+      Array.map (fun b -> expected_block_content t report b) report.Report.order
+    in
+    if Array.exists Option.is_none contents then None
+    else begin
+      let table = Hashtbl.create blocks in
+      Array.iteri
+        (fun i b ->
+          match contents.(i) with
+          | Some c -> Hashtbl.replace table b c
+          | None -> assert false)
+        report.Report.order;
+      Some
+        (Mp.mac_over ~hash:report.Report.hash ~key:t.key
+           ~nonce:report.Report.nonce ~counter:report.Report.counter
+           ~order:report.Report.order
+           ~block_content:(fun b -> Hashtbl.find table b))
+    end
+  end
+
+let mac_matches t report =
+  match expected_mac t report with
+  | None -> false
+  | Some mac -> Ra_crypto.Bytesutil.constant_time_equal mac report.Report.mac
+
+let verify t report =
+  let blocks = Bytes.length t.expected_image / t.block_size in
+  if Array.length report.Report.order = blocks && mac_matches t report then Clean
+  else Tampered
+
+let verify_region t ~region report =
+  let sorted a =
+    let copy = Array.copy a in
+    Array.sort Int.compare copy;
+    copy
+  in
+  if sorted report.Report.order = sorted (Array.of_list region) && mac_matches t report
+  then Clean
+  else Tampered
+
+let verify_fresh t ~nonce report =
+  if Bytes.equal nonce report.Report.nonce then verify t report else Tampered

@@ -1,0 +1,1 @@
+lib/crypto/aes.mli: Bytes

@@ -1,0 +1,1 @@
+lib/crypto/algo.ml: Blake2b Blake2s Digest_intf Hmac Sha256 Sha512 String

@@ -1,0 +1,1 @@
+lib/crypto/algo.mli: Bytes Digest_intf

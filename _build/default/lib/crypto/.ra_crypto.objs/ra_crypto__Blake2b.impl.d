@@ -1,0 +1,1 @@
+lib/crypto/blake2b.ml: Array Bytes Bytesutil Int64

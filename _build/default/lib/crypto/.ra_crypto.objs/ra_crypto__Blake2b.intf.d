@@ -1,0 +1,1 @@
+lib/crypto/blake2b.mli: Bytes Digest_intf

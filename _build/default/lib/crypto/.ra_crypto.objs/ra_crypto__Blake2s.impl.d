@@ -1,0 +1,1 @@
+lib/crypto/blake2s.ml: Array Bytes Bytesutil

@@ -1,0 +1,1 @@
+lib/crypto/blake2s.mli: Bytes Digest_intf

@@ -1,0 +1,1 @@
+lib/crypto/bytesutil.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/bytesutil.mli: Bytes

@@ -1,0 +1,1 @@
+lib/crypto/cmac.ml: Aes Bytes Bytesutil Char

@@ -1,0 +1,1 @@
+lib/crypto/cmac.mli: Bytes

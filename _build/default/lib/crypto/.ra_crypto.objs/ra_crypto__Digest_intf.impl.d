@@ -1,0 +1,1 @@
+lib/crypto/digest_intf.ml: Bytes

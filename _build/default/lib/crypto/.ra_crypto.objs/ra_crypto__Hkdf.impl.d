@@ -1,0 +1,1 @@
+lib/crypto/hkdf.ml: Buffer Bytes Char Hmac

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Bytes Bytesutil Char Digest_intf Sha256 Sha512

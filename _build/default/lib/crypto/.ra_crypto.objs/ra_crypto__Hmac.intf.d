@@ -1,0 +1,1 @@
+lib/crypto/hmac.mli: Bytes Digest_intf Sha256 Sha512

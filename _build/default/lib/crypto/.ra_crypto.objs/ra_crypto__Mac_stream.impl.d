@@ -1,0 +1,1 @@
+lib/crypto/mac_stream.ml: Algo Blake2b Blake2s Bytes Hmac

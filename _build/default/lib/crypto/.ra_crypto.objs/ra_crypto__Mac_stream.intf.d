@@ -1,0 +1,1 @@
+lib/crypto/mac_stream.mli: Algo Bytes

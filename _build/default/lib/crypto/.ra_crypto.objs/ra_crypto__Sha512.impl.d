@@ -1,0 +1,1 @@
+lib/crypto/sha512.ml: Array Bytes Bytesutil Int64

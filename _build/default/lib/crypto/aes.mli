@@ -1,0 +1,16 @@
+(** AES-128 block encryption (FIPS 197), from scratch.
+
+    Only the forward cipher is implemented: it is all that CBC-MAC/CMAC —
+    the paper's Section 2.4 "encryption (e.g., AES-CBC-MAC)" measurement
+    option — requires. *)
+
+type key
+
+val expand_key : Bytes.t -> key
+(** Key schedule for a 16-byte key. Raises [Invalid_argument] otherwise. *)
+
+val encrypt_block : key -> Bytes.t -> Bytes.t
+(** Encrypt one 16-byte block. Raises [Invalid_argument] on wrong size. *)
+
+val block_size : int
+(** 16. *)

@@ -1,0 +1,17 @@
+(** BLAKE2b (RFC 7693), implemented from scratch in pure OCaml.
+
+    The {!Digest_intf.S} part is unkeyed BLAKE2b-512. The extra entry points
+    expose the keyed mode (BLAKE2's native MAC) and shorter digests, both of
+    which matter for embedded provers. *)
+
+include Digest_intf.S
+
+val init_keyed : key:Bytes.t -> size:int -> ctx
+(** [init_keyed ~key ~size] starts a keyed hash producing [size] bytes.
+    [key] must be at most 64 bytes, [size] in [\[1, 64\]]. *)
+
+val mac : key:Bytes.t -> Bytes.t -> Bytes.t
+(** One-shot 64-byte keyed digest. *)
+
+val digest_sized : size:int -> Bytes.t -> Bytes.t
+(** One-shot unkeyed digest of [size] bytes, [size] in [\[1, 64\]]. *)

@@ -1,0 +1,144 @@
+let name = "BLAKE2s"
+let digest_size = 32
+let block_size = 64
+
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
+let sigma =
+  [|
+    [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];
+    [| 14; 10; 4; 8; 9; 15; 13; 6; 1; 12; 0; 2; 11; 7; 5; 3 |];
+    [| 11; 8; 12; 0; 5; 2; 15; 13; 10; 14; 3; 6; 7; 1; 9; 4 |];
+    [| 7; 9; 3; 1; 13; 12; 11; 14; 2; 6; 5; 10; 4; 0; 15; 8 |];
+    [| 9; 0; 5; 7; 2; 4; 10; 15; 14; 1; 11; 12; 6; 8; 3; 13 |];
+    [| 2; 12; 6; 10; 0; 11; 8; 3; 4; 13; 7; 5; 15; 14; 1; 9 |];
+    [| 12; 5; 1; 15; 14; 13; 4; 10; 0; 7; 6; 3; 9; 2; 8; 11 |];
+    [| 13; 11; 7; 14; 12; 1; 3; 9; 5; 0; 15; 4; 8; 6; 2; 10 |];
+    [| 6; 15; 14; 9; 11; 3; 0; 8; 12; 2; 13; 7; 1; 4; 10; 5 |];
+    [| 10; 2; 8; 4; 7; 6; 1; 5; 15; 11; 9; 14; 3; 12; 13; 0 |];
+  |]
+
+type ctx = {
+  h : int array;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  mutable t : int;
+  out_len : int;
+  m : int array;
+  v : int array;
+}
+
+let mask = 0xFFFFFFFF
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress ctx ~last =
+  let m = ctx.m and v = ctx.v in
+  for i = 0 to 15 do
+    m.(i) <- Bytesutil.load32_le ctx.buf (4 * i)
+  done;
+  for i = 0 to 7 do
+    v.(i) <- ctx.h.(i);
+    v.(i + 8) <- iv.(i)
+  done;
+  v.(12) <- v.(12) lxor (ctx.t land mask);
+  v.(13) <- v.(13) lxor ((ctx.t lsr 32) land mask);
+  if last then v.(14) <- v.(14) lxor mask;
+  let g r i a b c d =
+    let s = sigma.(r) in
+    v.(a) <- (v.(a) + v.(b) + m.(s.(2 * i))) land mask;
+    v.(d) <- rotr (v.(d) lxor v.(a)) 16;
+    v.(c) <- (v.(c) + v.(d)) land mask;
+    v.(b) <- rotr (v.(b) lxor v.(c)) 12;
+    v.(a) <- (v.(a) + v.(b) + m.(s.((2 * i) + 1))) land mask;
+    v.(d) <- rotr (v.(d) lxor v.(a)) 8;
+    v.(c) <- (v.(c) + v.(d)) land mask;
+    v.(b) <- rotr (v.(b) lxor v.(c)) 7
+  in
+  for r = 0 to 9 do
+    g r 0 0 4 8 12;
+    g r 1 1 5 9 13;
+    g r 2 2 6 10 14;
+    g r 3 3 7 11 15;
+    g r 4 0 5 10 15;
+    g r 5 1 6 11 12;
+    g r 6 2 7 8 13;
+    g r 7 3 4 9 14
+  done;
+  for i = 0 to 7 do
+    ctx.h.(i) <- ctx.h.(i) lxor v.(i) lxor v.(i + 8)
+  done
+
+let init_keyed ~key ~size =
+  let key_len = Bytes.length key in
+  if size < 1 || size > 32 then invalid_arg "Blake2s: digest size out of range";
+  if key_len > 32 then invalid_arg "Blake2s: key longer than 32 bytes";
+  let h = Array.copy iv in
+  let param = 0x01010000 lor (key_len lsl 8) lor size in
+  h.(0) <- h.(0) lxor param;
+  let ctx =
+    {
+      h;
+      buf = Bytes.make block_size '\000';
+      buf_len = 0;
+      t = 0;
+      out_len = size;
+      m = Array.make 16 0;
+      v = Array.make 16 0;
+    }
+  in
+  if key_len > 0 then begin
+    Bytes.blit key 0 ctx.buf 0 key_len;
+    ctx.buf_len <- block_size
+  end;
+  ctx
+
+let init () = init_keyed ~key:Bytes.empty ~size:digest_size
+
+let update ctx src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Blake2s.update: slice out of bounds";
+  let offset = ref pos and remaining = ref len in
+  while !remaining > 0 do
+    if ctx.buf_len = block_size then begin
+      ctx.t <- ctx.t + block_size;
+      compress ctx ~last:false;
+      ctx.buf_len <- 0
+    end;
+    let take = min !remaining (block_size - ctx.buf_len) in
+    Bytes.blit src !offset ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    offset := !offset + take;
+    remaining := !remaining - take
+  done
+
+let finalize ctx =
+  ctx.t <- ctx.t + ctx.buf_len;
+  Bytes.fill ctx.buf ctx.buf_len (block_size - ctx.buf_len) '\000';
+  compress ctx ~last:true;
+  let full = Bytes.create 32 in
+  for i = 0 to 7 do
+    Bytesutil.store32_le full (4 * i) ctx.h.(i)
+  done;
+  Bytes.sub full 0 ctx.out_len
+
+let digest b =
+  let ctx = init () in
+  update ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx
+
+let hex_digest s = Bytesutil.to_hex (digest (Bytes.of_string s))
+
+let mac ~key b =
+  let ctx = init_keyed ~key ~size:digest_size in
+  update ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx
+
+let digest_sized ~size b =
+  let ctx = init_keyed ~key:Bytes.empty ~size in
+  update ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx

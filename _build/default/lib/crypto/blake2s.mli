@@ -1,0 +1,16 @@
+(** BLAKE2s (RFC 7693), implemented from scratch in pure OCaml.
+
+    The {!Digest_intf.S} part is unkeyed BLAKE2s-256. BLAKE2s is the variant
+    the paper singles out as well suited to 32-bit embedded systems. *)
+
+include Digest_intf.S
+
+val init_keyed : key:Bytes.t -> size:int -> ctx
+(** [init_keyed ~key ~size] starts a keyed hash producing [size] bytes.
+    [key] must be at most 32 bytes, [size] in [\[1, 32\]]. *)
+
+val mac : key:Bytes.t -> Bytes.t -> Bytes.t
+(** One-shot 32-byte keyed digest. *)
+
+val digest_sized : size:int -> Bytes.t -> Bytes.t
+(** One-shot unkeyed digest of [size] bytes, [size] in [\[1, 32\]]. *)

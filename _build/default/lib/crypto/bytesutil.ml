@@ -1,0 +1,90 @@
+let hex_digits = "0123456789abcdef"
+
+let to_hex b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.unsafe_get b i) in
+    Bytes.unsafe_set out (2 * i) hex_digits.[v lsr 4];
+    Bytes.unsafe_set out ((2 * i) + 1) hex_digits.[v land 0xf]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bytesutil.of_hex: invalid character"
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytesutil.of_hex: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  out
+
+let xor a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then invalid_arg "Bytesutil.xor: length mismatch";
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b i)))
+  done;
+  out
+
+let constant_time_equal a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc lor (Char.code (Bytes.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b i))
+    done;
+    !acc = 0
+  end
+
+let byte b i = Char.code (Bytes.unsafe_get b i)
+
+let load32_be b i =
+  (byte b i lsl 24) lor (byte b (i + 1) lsl 16) lor (byte b (i + 2) lsl 8)
+  lor byte b (i + 3)
+
+let store32_be b i v =
+  Bytes.unsafe_set b i (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (i + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (i + 3) (Char.unsafe_chr (v land 0xff))
+
+let load32_le b i =
+  byte b i lor (byte b (i + 1) lsl 8) lor (byte b (i + 2) lsl 16)
+  lor (byte b (i + 3) lsl 24)
+
+let store32_le b i v =
+  Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (i + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (i + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let load64_be b i =
+  let hi = Int64.of_int (load32_be b i) in
+  let lo = Int64.of_int (load32_be b (i + 4)) in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let store64_be b i v =
+  store32_be b i (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFFFFFF);
+  store32_be b (i + 4) (Int64.to_int v land 0xFFFFFFFF)
+
+let load64_le b i =
+  let lo = Int64.of_int (load32_le b i) in
+  let hi = Int64.of_int (load32_le b (i + 4)) in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let store64_le b i v =
+  store32_le b i (Int64.to_int v land 0xFFFFFFFF);
+  store32_le b (i + 4) (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFFFFFF)

@@ -1,0 +1,32 @@
+(** Byte-level helpers shared by the hash implementations. *)
+
+val to_hex : Bytes.t -> string
+(** Lowercase hexadecimal encoding. *)
+
+val of_hex : string -> Bytes.t
+(** Inverse of {!to_hex}. Raises [Invalid_argument] on odd length or
+    non-hex characters. *)
+
+val xor : Bytes.t -> Bytes.t -> Bytes.t
+(** Byte-wise xor. Raises [Invalid_argument] on length mismatch. *)
+
+val constant_time_equal : Bytes.t -> Bytes.t -> bool
+(** Comparison whose running time depends only on the length, as required
+    when comparing MACs. Unequal lengths return [false] immediately. *)
+
+val load32_be : Bytes.t -> int -> int
+(** Big-endian 32-bit load, result in [\[0, 2^32)]. *)
+
+val store32_be : Bytes.t -> int -> int -> unit
+
+val load32_le : Bytes.t -> int -> int
+
+val store32_le : Bytes.t -> int -> int -> unit
+
+val load64_be : Bytes.t -> int -> int64
+
+val store64_be : Bytes.t -> int -> int64 -> unit
+
+val load64_le : Bytes.t -> int -> int64
+
+val store64_le : Bytes.t -> int -> int64 -> unit

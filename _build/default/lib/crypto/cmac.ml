@@ -1,0 +1,72 @@
+let block = Aes.block_size
+
+(* left shift of a 16-byte string by one bit, MSB-first *)
+let shift_left_1 b =
+  let out = Bytes.create block in
+  let carry = ref 0 in
+  for i = block - 1 downto 0 do
+    let v = (Char.code (Bytes.get b i) lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xff));
+    carry := v lsr 8
+  done;
+  (out, !carry)
+
+let rb = 0x87
+
+let derive_subkeys key =
+  let l = Aes.encrypt_block key (Bytes.make block '\000') in
+  let k1, msb = shift_left_1 l in
+  if msb = 1 then
+    Bytes.set k1 (block - 1) (Char.chr (Char.code (Bytes.get k1 (block - 1)) lxor rb));
+  let k2, msb = shift_left_1 k1 in
+  if msb = 1 then
+    Bytes.set k2 (block - 1) (Char.chr (Char.code (Bytes.get k2 (block - 1)) lxor rb));
+  (k1, k2)
+
+let xor_into dst src =
+  for i = 0 to block - 1 do
+    Bytes.set dst i (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let mac ~key msg =
+  let key = Aes.expand_key key in
+  let k1, k2 = derive_subkeys key in
+  let len = Bytes.length msg in
+  let full_blocks = if len = 0 then 1 else (len + block - 1) / block in
+  let last_complete = len > 0 && len mod block = 0 in
+  let state = ref (Bytes.make block '\000') in
+  for i = 0 to full_blocks - 2 do
+    let chunk = Bytes.sub msg (i * block) block in
+    xor_into chunk !state;
+    state := Aes.encrypt_block key chunk
+  done;
+  let final = Bytes.make block '\000' in
+  let offset = (full_blocks - 1) * block in
+  let remaining = len - offset in
+  if last_complete then begin
+    Bytes.blit msg offset final 0 block;
+    xor_into final k1
+  end
+  else begin
+    if remaining > 0 then Bytes.blit msg offset final 0 remaining;
+    Bytes.set final remaining '\x80';
+    xor_into final k2
+  end;
+  xor_into final !state;
+  Aes.encrypt_block key final
+
+let verify ~key ~tag msg = Bytesutil.constant_time_equal tag (mac ~key msg)
+
+let cbc_mac_raw ~key msg =
+  let key = Aes.expand_key key in
+  let len = Bytes.length msg in
+  let blocks = max 1 ((len + block - 1) / block) in
+  let state = ref (Bytes.make block '\000') in
+  for i = 0 to blocks - 1 do
+    let chunk = Bytes.make block '\000' in
+    let have = min block (len - (i * block)) in
+    if have > 0 then Bytes.blit msg (i * block) chunk 0 have;
+    xor_into chunk !state;
+    state := Aes.encrypt_block key chunk
+  done;
+  !state

@@ -1,0 +1,13 @@
+(** AES-128 CMAC (NIST SP 800-38B): the block-cipher-based MAC family the
+    paper's Section 2.4 cites (ISO 9797 MACs). CMAC fixes raw CBC-MAC's
+    variable-length forgeries via the derived subkeys K1/K2. *)
+
+val mac : key:Bytes.t -> Bytes.t -> Bytes.t
+(** 16-byte tag over an arbitrary-length message under a 16-byte key. *)
+
+val verify : key:Bytes.t -> tag:Bytes.t -> Bytes.t -> bool
+(** Constant-time tag comparison. *)
+
+val cbc_mac_raw : key:Bytes.t -> Bytes.t -> Bytes.t
+(** Textbook zero-padded CBC-MAC — secure only for fixed-length messages;
+    exposed to demonstrate the length-extension forgery in tests. *)

@@ -1,0 +1,32 @@
+(** Common signature implemented by every hash function in this library.
+
+    A context is single-use: after {!S.finalize} it must not be updated
+    again. All functions operate on whole or sliced [Bytes.t]. *)
+
+module type S = sig
+  val name : string
+  (** Canonical algorithm name, e.g. ["SHA-256"]. *)
+
+  val digest_size : int
+  (** Output length in bytes. *)
+
+  val block_size : int
+  (** Internal block length in bytes (needed by HMAC). *)
+
+  type ctx
+
+  val init : unit -> ctx
+
+  val update : ctx -> Bytes.t -> pos:int -> len:int -> unit
+  (** Absorb [len] bytes of input starting at [pos]. Raises
+      [Invalid_argument] if the slice is out of bounds. *)
+
+  val finalize : ctx -> Bytes.t
+  (** Produce the digest. The context must not be used afterwards. *)
+
+  val digest : Bytes.t -> Bytes.t
+  (** One-shot convenience: [digest b = finalize (init () |> update b)]. *)
+
+  val hex_digest : string -> string
+  (** One-shot over a string input, hex-encoded output. *)
+end

@@ -1,0 +1,16 @@
+(** HKDF (RFC 5869) over HMAC-SHA-256, from scratch.
+
+    Used to derive per-device attestation keys from a fleet master secret,
+    so compromising one prover's key never exposes a sibling's. *)
+
+val extract : ?salt:Bytes.t -> ikm:Bytes.t -> unit -> Bytes.t
+(** [extract ~salt ~ikm] is the 32-byte pseudorandom key. An absent salt is
+    the RFC's zero-filled default. *)
+
+val expand : prk:Bytes.t -> info:Bytes.t -> length:int -> Bytes.t
+(** [expand ~prk ~info ~length] produces [length] bytes of output keying
+    material. Raises [Invalid_argument] if [length] exceeds [255 * 32] or
+    is not positive. *)
+
+val derive : ?salt:Bytes.t -> ikm:Bytes.t -> info:Bytes.t -> length:int -> unit -> Bytes.t
+(** Extract-then-expand convenience. *)

@@ -1,0 +1,39 @@
+module Make (H : Digest_intf.S) = struct
+  type ctx = { inner : H.ctx; key_block : Bytes.t }
+
+  let normalise_key key =
+    let block = Bytes.make H.block_size '\000' in
+    if Bytes.length key > H.block_size then begin
+      let hashed = H.digest key in
+      Bytes.blit hashed 0 block 0 (Bytes.length hashed)
+    end
+    else Bytes.blit key 0 block 0 (Bytes.length key);
+    block
+
+  let init ~key =
+    let key_block = normalise_key key in
+    let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) key_block in
+    let inner = H.init () in
+    H.update inner ipad ~pos:0 ~len:H.block_size;
+    { inner; key_block }
+
+  let update t src ~pos ~len = H.update t.inner src ~pos ~len
+
+  let finalize t =
+    let inner_digest = H.finalize t.inner in
+    let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) t.key_block in
+    let outer = H.init () in
+    H.update outer opad ~pos:0 ~len:H.block_size;
+    H.update outer inner_digest ~pos:0 ~len:(Bytes.length inner_digest);
+    H.finalize outer
+
+  let mac ~key msg =
+    let t = init ~key in
+    update t msg ~pos:0 ~len:(Bytes.length msg);
+    finalize t
+
+  let verify ~key ~tag msg = Bytesutil.constant_time_equal tag (mac ~key msg)
+end
+
+module Sha256 = Make (Sha256)
+module Sha512 = Make (Sha512)

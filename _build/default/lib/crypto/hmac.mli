@@ -1,0 +1,23 @@
+(** HMAC (RFC 2104 / FIPS 198-1), generic over any hash of this library. *)
+
+module Make (H : Digest_intf.S) : sig
+  type ctx
+
+  val init : key:Bytes.t -> ctx
+  (** Keys longer than the hash block size are hashed first, shorter keys
+      zero-padded, per the HMAC specification. *)
+
+  val update : ctx -> Bytes.t -> pos:int -> len:int -> unit
+
+  val finalize : ctx -> Bytes.t
+  (** Produces the [H.digest_size]-byte tag; the context is then dead. *)
+
+  val mac : key:Bytes.t -> Bytes.t -> Bytes.t
+  (** One-shot convenience. *)
+
+  val verify : key:Bytes.t -> tag:Bytes.t -> Bytes.t -> bool
+  (** Constant-time tag check. *)
+end
+
+module Sha256 : module type of Make (Sha256)
+module Sha512 : module type of Make (Sha512)

@@ -1,0 +1,3 @@
+(** SHA-512 (FIPS 180-4), implemented from scratch in pure OCaml. *)
+
+include Digest_intf.S

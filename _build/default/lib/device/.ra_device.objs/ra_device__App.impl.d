@@ -1,0 +1,1 @@
+lib/device/app.ml: Bytes Char Cpu Engine Memory Ra_sim Stats Timebase

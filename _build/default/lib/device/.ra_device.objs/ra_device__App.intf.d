@@ -1,0 +1,1 @@
+lib/device/app.mli: Cpu Engine Memory Ra_sim Stats Timebase

@@ -1,0 +1,1 @@
+lib/device/cost_model.ml: Float Ra_crypto Ra_sim String Timebase

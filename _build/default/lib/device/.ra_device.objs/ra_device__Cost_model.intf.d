@@ -1,0 +1,1 @@
+lib/device/cost_model.mli: Ra_crypto Ra_sim Timebase

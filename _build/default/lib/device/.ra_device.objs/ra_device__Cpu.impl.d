@@ -1,0 +1,1 @@
+lib/device/cpu.ml: Engine Hashtbl Heap Option Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/device/cpu.mli: Engine Ra_sim Timebase

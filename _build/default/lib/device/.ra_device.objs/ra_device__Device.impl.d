@@ -1,0 +1,1 @@
+lib/device/device.ml: Bytes Cost_model Cpu Engine List Memory Prng Ra_sim

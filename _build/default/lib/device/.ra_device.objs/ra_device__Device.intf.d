@@ -1,0 +1,1 @@
+lib/device/device.mli: Bytes Cost_model Cpu Engine Memory Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/device/memory.ml: Array Bytes List Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/device/memory.mli: Bytes Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/device/taskset.ml: App Array Buffer Cost_model Cpu Device Engine Float Int List Printf Prng Ra_crypto Ra_sim Stats Timebase

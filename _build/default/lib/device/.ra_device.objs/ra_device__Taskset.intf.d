@@ -1,0 +1,1 @@
+lib/device/taskset.mli: Prng Ra_sim Timebase

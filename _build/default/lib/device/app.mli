@@ -1,0 +1,53 @@
+(** The safety-critical application of the paper's Section 2.5: a periodic
+    sensor-actuator task (the fire alarm) running alongside attestation.
+
+    Each activation consumes CPU (sensing + decision), then writes fresh
+    sample data into its data blocks. Writes to locked blocks stall until
+    the block is released — the availability cost of memory locking. The
+    module records activation latencies, deadline misses, stalled-write
+    time, and the alarm reaction latency when a fire event is injected. *)
+
+open Ra_sim
+
+type config = {
+  name : string;
+  period : Timebase.t;
+  execution : Timebase.t;  (** CPU demand per activation *)
+  priority : int;
+  deadline : Timebase.t option;  (** relative to activation *)
+  data_blocks : int list;  (** blocks receiving sample data each activation *)
+  write_bytes : int;  (** bytes written per data block per activation *)
+  first_activation : Timebase.t;
+}
+
+val default_config : config
+(** 1 s period, 2 ms execution, priority 10, 1 s deadline, no data blocks. *)
+
+type t
+
+val start : Engine.t -> Cpu.t -> Memory.t -> ?on_run:(unit -> unit) -> config -> t
+(** Schedules periodic activations until {!stop}. [on_run] fires each time
+    the application's compute phase completes — the hook a colluding malware
+    payload uses (the paper's compromised time-critical application). *)
+
+val stop : t -> unit
+(** No further activations are scheduled; in-flight ones finish. *)
+
+val activations : t -> int
+
+val completions : t -> int
+
+val latencies : t -> Stats.t
+(** Activation-to-completion times (compute plus writes), in seconds. *)
+
+val deadline_misses : t -> int
+
+val blocked_ns : t -> Timebase.t
+(** Total time activations spent stalled on locked blocks. *)
+
+val declare_fire : t -> at:Timebase.t -> unit
+(** Inject the Section 2.5 fire event. The alarm sounds when the first
+    compute phase finishing after [at] completes. *)
+
+val alarm_latency : t -> Timebase.t option
+(** Fire-to-alarm delay, once both happened. *)

@@ -1,0 +1,144 @@
+open Ra_sim
+
+type state =
+  | Waiting
+  | Running of { started : Timebase.t; completion : Engine.event_id }
+  | Complete
+  | Cancelled
+
+type job = {
+  name : string;
+  priority : int;
+  atomic : bool;
+  seq : int;
+  mutable remaining : Timebase.t;
+  mutable state : state;
+  on_complete : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  ready : job Heap.t; (* keyed by negated priority, then seq: max-priority FIFO *)
+  mutable current : job option;
+  mutable next_seq : int;
+  busy : (string, int) Hashtbl.t;
+  mutable total_busy : int;
+}
+
+let create engine =
+  {
+    engine;
+    ready = Heap.create ();
+    current = None;
+    next_seq = 0;
+    busy = Hashtbl.create 16;
+    total_busy = 0;
+  }
+
+let account t job consumed =
+  if consumed > 0 then begin
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.busy job.name) in
+    Hashtbl.replace t.busy job.name (prev + consumed);
+    t.total_busy <- t.total_busy + consumed
+  end
+
+let push_ready t job = Heap.push t.ready ~key:(-job.priority) ~seq:job.seq job
+
+(* Pop the highest-priority non-cancelled waiting job. *)
+let rec pop_ready t =
+  match Heap.pop t.ready with
+  | None -> None
+  | Some (_, _, job) ->
+    (match job.state with
+    | Waiting -> Some job
+    | Cancelled | Complete | Running _ -> pop_ready t)
+
+let rec peek_ready t =
+  match Heap.peek t.ready with
+  | None -> None
+  | Some (_, _, job) ->
+    (match job.state with
+    | Waiting -> Some job
+    | Cancelled | Complete | Running _ ->
+      ignore (Heap.pop t.ready);
+      peek_ready t)
+
+let rec start t job =
+  let completion =
+    Engine.schedule_after t.engine ~delay:job.remaining (fun _ ->
+        job.state <- Complete;
+        account t job job.remaining;
+        job.remaining <- 0;
+        t.current <- None;
+        job.on_complete ();
+        dispatch t)
+  in
+  job.state <- Running { started = Engine.now t.engine; completion };
+  t.current <- Some job
+
+and preempt t job =
+  match job.state with
+  | Running { started; completion } ->
+    Engine.cancel t.engine completion;
+    let consumed = Timebase.sub (Engine.now t.engine) started in
+    account t job consumed;
+    job.remaining <- Timebase.sub job.remaining consumed;
+    job.state <- Waiting;
+    push_ready t job;
+    t.current <- None
+  | Waiting | Complete | Cancelled -> ()
+
+and dispatch t =
+  match t.current with
+  | Some running_job ->
+    if not running_job.atomic then begin
+      match peek_ready t with
+      | Some candidate when candidate.priority > running_job.priority ->
+        preempt t running_job;
+        dispatch t
+      | Some _ | None -> ()
+    end
+  | None ->
+    (match pop_ready t with
+    | Some job -> start t job
+    | None -> ())
+
+let submit t ?(atomic = false) ~name ~priority ~duration ~on_complete () =
+  if duration < 0 then invalid_arg "Cpu.submit: negative duration";
+  let job =
+    {
+      name;
+      priority;
+      atomic;
+      seq = t.next_seq;
+      remaining = duration;
+      state = Waiting;
+      on_complete;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  push_ready t job;
+  dispatch t;
+  job
+
+let cancel t job =
+  match job.state with
+  | Complete | Cancelled -> ()
+  | Waiting -> job.state <- Cancelled
+  | Running { started; completion } ->
+    Engine.cancel t.engine completion;
+    account t job (Timebase.sub (Engine.now t.engine) started);
+    job.state <- Cancelled;
+    t.current <- None;
+    dispatch t
+
+let running t =
+  match t.current with
+  | None -> None
+  | Some job -> Some (job.name, job.priority)
+
+let is_complete job = match job.state with Complete -> true | Waiting | Running _ | Cancelled -> false
+
+let busy_ns t ~name = Option.value ~default:0 (Hashtbl.find_opt t.busy name)
+
+let total_busy_ns t = t.total_busy

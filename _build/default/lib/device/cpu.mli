@@ -1,0 +1,42 @@
+(** Single-core preemptive priority CPU arbiter on top of the event engine.
+
+    Work is submitted as jobs with a fixed CPU demand. A higher-priority job
+    preempts the running one unless the latter was submitted [~atomic:true]
+    — which is exactly how SMART-style uninterruptible attestation differs
+    from the interruptible schemes. Preempted jobs resume with their
+    remaining demand; equal priorities run in submission order. *)
+
+open Ra_sim
+
+type t
+
+type job
+
+val create : Engine.t -> t
+
+val submit :
+  t ->
+  ?atomic:bool ->
+  name:string ->
+  priority:int ->
+  duration:Timebase.t ->
+  on_complete:(unit -> unit) ->
+  unit ->
+  job
+(** Higher [priority] wins. [duration] must be non-negative; a zero-duration
+    job still queues and completes when it would get the CPU. [on_complete]
+    runs at the virtual instant the job's demand is exhausted. *)
+
+val cancel : t -> job -> unit
+(** No effect if the job already completed. *)
+
+val running : t -> (string * int) option
+(** Name and priority of the job holding the CPU, if any. *)
+
+val is_complete : job -> bool
+
+val busy_ns : t -> name:string -> Timebase.t
+(** Cumulative CPU time consumed by jobs with the given name — the run-time
+    overhead accounting used by the Table 1 harness. *)
+
+val total_busy_ns : t -> Timebase.t

@@ -1,0 +1,57 @@
+open Ra_sim
+
+type config = {
+  seed : int;
+  blocks : int;
+  block_size : int;
+  modeled_block_bytes : int;
+  data_blocks : int list;
+  cost : Cost_model.t;
+  key : Bytes.t;
+}
+
+let default_config =
+  {
+    seed = 1;
+    blocks = 64;
+    block_size = 1024;
+    modeled_block_bytes = 16 * 1024 * 1024;
+    data_blocks = [];
+    cost = Cost_model.odroid_xu4;
+    key = Bytes.of_string "ra-safety-demo-attestation-key!!";
+  }
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  memory : Memory.t;
+  config : config;
+}
+
+(* The image is a pure function of the seed so prover and verifier can build
+   identical copies without shipping the bytes around. *)
+let firmware_image ~seed ~size =
+  let rng = Prng.create ~seed:(seed lxor 0x46495257 (* "FIRW" *)) in
+  Prng.bytes rng size
+
+let create config =
+  if config.blocks <= 0 then invalid_arg "Device.create: no blocks";
+  List.iter
+    (fun b ->
+      if b < 0 || b >= config.blocks then
+        invalid_arg "Device.create: data block out of range")
+    config.data_blocks;
+  let engine = Engine.create ~seed:config.seed () in
+  let image = firmware_image ~seed:config.seed ~size:(config.blocks * config.block_size) in
+  {
+    engine;
+    cpu = Cpu.create engine;
+    memory = Memory.create ~image ~block_size:config.block_size;
+    config;
+  }
+
+let attested_bytes t = t.config.blocks * t.config.modeled_block_bytes
+
+let is_data_block t block = List.mem block t.config.data_blocks
+
+let run ?until t = Engine.run ?until t.engine

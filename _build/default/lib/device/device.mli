@@ -1,0 +1,42 @@
+(** A complete simulated prover: engine, CPU, lockable memory, cost model,
+    attestation key, and the split between code and data regions. *)
+
+open Ra_sim
+
+type config = {
+  seed : int;
+  blocks : int;
+  block_size : int;  (** real bytes per block, hashed by the actual MP *)
+  modeled_block_bytes : int;
+      (** bytes per block charged to the cost model — lets a 256 KiB real
+          image stand in for the paper's gigabyte-scale attested memory *)
+  data_blocks : int list;  (** indices treated as volatile data (Section 2.3) *)
+  cost : Cost_model.t;
+  key : Bytes.t;  (** attestation key shared with the verifier *)
+}
+
+val default_config : config
+(** 64 blocks of 1 KiB real bytes, each modeling 16 MiB (1 GiB total,
+    the Section 2.5 scenario), ODROID-XU4 costs, no data blocks. *)
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  memory : Memory.t;
+  config : config;
+}
+
+val create : config -> t
+(** The firmware image is generated deterministically from [seed]; the
+    verifier reconstructs the same image from the same seed. *)
+
+val firmware_image : seed:int -> size:int -> Bytes.t
+(** The deterministic benign image generator shared with the verifier. *)
+
+val attested_bytes : t -> int
+(** Total modeled size: [blocks * modeled_block_bytes]. *)
+
+val is_data_block : t -> int -> bool
+
+val run : ?until:Timebase.t -> t -> unit
+(** Convenience passthrough to {!Ra_sim.Engine.run}. *)

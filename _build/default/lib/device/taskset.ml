@@ -1,0 +1,142 @@
+open Ra_sim
+
+type task = {
+  name : string;
+  period : Timebase.t;
+  execution : Timebase.t;
+  priority : int;
+}
+
+(* Bini & Buttazzo's UUniFast: uniform over the simplex of utilizations. *)
+let uunifast rng ~tasks ~total_utilization =
+  if tasks < 1 then invalid_arg "Taskset.uunifast: tasks < 1";
+  if total_utilization <= 0. || total_utilization > 1. then
+    invalid_arg "Taskset.uunifast: utilization out of (0, 1]";
+  let out = Array.make tasks 0. in
+  let remaining = ref total_utilization in
+  for i = 0 to tasks - 2 do
+    let next =
+      !remaining *. (Prng.float rng ** (1. /. float_of_int (tasks - 1 - i)))
+    in
+    out.(i) <- !remaining -. next;
+    remaining := next
+  done;
+  out.(tasks - 1) <- !remaining;
+  out
+
+let generate rng ~tasks ~total_utilization ?(min_period = Timebase.ms 50)
+    ?(max_period = Timebase.s 2) () =
+  let utilizations = uunifast rng ~tasks ~total_utilization in
+  let log_min = log (float_of_int min_period) in
+  let log_max = log (float_of_int max_period) in
+  let raw =
+    Array.to_list
+      (Array.mapi
+         (fun i u ->
+           let period =
+             int_of_float (exp (log_min +. (Prng.float rng *. (log_max -. log_min))))
+           in
+           let execution = max 1 (int_of_float (u *. float_of_int period)) in
+           (i, period, execution))
+         utilizations)
+  in
+  (* rate-monotonic: shorter period gets the higher priority *)
+  let by_period = List.sort (fun (_, p1, _) (_, p2, _) -> Int.compare p2 p1) raw in
+  List.mapi
+    (fun rank (i, period, execution) ->
+      { name = Printf.sprintf "task-%d" i; period; execution; priority = 10 + rank })
+    by_period
+
+type run_stats = {
+  activations : int;
+  completions : int;
+  deadline_misses : int;
+  worst_latency_s : float;
+}
+
+let run_under_attestation ~seed ~tasks ~scheme_atomic ~horizon ~attested_bytes =
+  let device =
+    Device.create
+      {
+        Device.default_config with
+        Device.seed;
+        block_size = 256;
+        modeled_block_bytes = attested_bytes / Device.default_config.Device.blocks;
+      }
+  in
+  let eng = device.Device.engine in
+  let apps =
+    List.map
+      (fun t ->
+        App.start eng device.Device.cpu device.Device.memory
+          {
+            App.name = t.name;
+            period = t.period;
+            execution = t.execution;
+            priority = t.priority;
+            deadline = Some t.period;
+            data_blocks = [];
+            write_bytes = 0;
+            first_activation = Timebase.ms 10;
+          })
+      tasks
+  in
+  (* one measurement mid-run, at a priority below every task *)
+  ignore
+    (Engine.schedule eng ~at:(Timebase.s 2) (fun _ ->
+         let cost = device.Device.config.Device.cost in
+         let duration =
+           Cost_model.hash_time cost Ra_crypto.Algo.SHA_256 ~bytes:attested_bytes
+         in
+         ignore
+           (Cpu.submit device.Device.cpu ~atomic:scheme_atomic ~name:"mp" ~priority:5
+              ~duration
+              ~on_complete:(fun () -> ())
+              ())));
+  Engine.run ~until:horizon eng;
+  List.iter App.stop apps;
+  Engine.run ~until:(Timebase.add horizon (Timebase.s 30)) eng;
+  List.fold_left
+    (fun acc app ->
+      let stats = App.latencies app in
+      {
+        activations = acc.activations + App.activations app;
+        completions = acc.completions + App.completions app;
+        deadline_misses = acc.deadline_misses + App.deadline_misses app;
+        worst_latency_s =
+          Float.max acc.worst_latency_s
+            (if Stats.count stats = 0 then 0. else Stats.max_value stats);
+      })
+    { activations = 0; completions = 0; deadline_misses = 0; worst_latency_s = 0. }
+    apps
+
+let schedulability_table ?(seed = 43) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Workload-level Section 2.5 — 6 rate-monotonic tasks + one 1 GiB measurement\n";
+  Buffer.add_string buf
+    "utilization  atomic misses  atomic worst  interruptible misses  interruptible worst\n";
+  Buffer.add_string buf
+    "-----------  -------------  ------------  --------------------  -------------------\n";
+  List.iter
+    (fun utilization ->
+      let rng = Prng.create ~seed:(seed + int_of_float (utilization *. 100.)) in
+      let tasks = generate rng ~tasks:6 ~total_utilization:utilization () in
+      let run scheme_atomic =
+        run_under_attestation ~seed ~tasks ~scheme_atomic ~horizon:(Timebase.s 25)
+          ~attested_bytes:(1024 * 1024 * 1024)
+      in
+      let atomic = run true in
+      let inter = run false in
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %-14d %-13s %-21d %s\n"
+           (Printf.sprintf "%.0f%%" (utilization *. 100.))
+           atomic.deadline_misses
+           (Printf.sprintf "%.3f s" atomic.worst_latency_s)
+           inter.deadline_misses
+           (Printf.sprintf "%.3f s" inter.worst_latency_s)))
+    [ 0.2; 0.4; 0.6 ];
+  Buffer.add_string buf
+    "Atomic attestation injects ~9.7 s of blackout into every task regardless\n\
+     of utilization; the interruptible measurement only stretches itself.\n";
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Synthetic real-time task sets, for studying how attestation disturbs a
+    whole workload rather than a single fire-alarm task.
+
+    Utilizations are drawn with the UUniFast algorithm (the standard
+    generator in schedulability studies), periods log-uniform over a range,
+    and priorities rate-monotonic (shorter period, higher priority). *)
+
+open Ra_sim
+
+type task = {
+  name : string;
+  period : Timebase.t;
+  execution : Timebase.t;
+  priority : int;
+}
+
+val uunifast :
+  Prng.t -> tasks:int -> total_utilization:float -> float array
+(** Per-task utilizations summing to [total_utilization]. Raises
+    [Invalid_argument] if [tasks < 1] or the utilization is not in (0, 1]. *)
+
+val generate :
+  Prng.t ->
+  tasks:int ->
+  total_utilization:float ->
+  ?min_period:Timebase.t ->
+  ?max_period:Timebase.t ->
+  unit ->
+  task list
+(** Rate-monotonic priorities in [\[10, 10 + tasks)], higher for shorter
+    periods. Default periods span 50 ms to 2 s. *)
+
+type run_stats = {
+  activations : int;
+  completions : int;
+  deadline_misses : int;
+  worst_latency_s : float;
+}
+
+val run_under_attestation :
+  seed:int ->
+  tasks:task list ->
+  scheme_atomic:bool ->
+  horizon:Timebase.t ->
+  attested_bytes:int ->
+  run_stats
+(** Run the task set (implicit deadlines = periods) on a device while one
+    measurement of [attested_bytes] executes in the middle; atomic or
+    interruptible per [scheme_atomic]. Aggregated over all tasks. *)
+
+val schedulability_table : ?seed:int -> unit -> string
+(** Deadline-miss counts vs total utilization for atomic vs interruptible
+    attestation: the workload-level version of the Section 2.5 argument. *)

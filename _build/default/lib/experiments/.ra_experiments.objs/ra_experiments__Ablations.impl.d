@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: App Cost_model Device Engine List Mp Printf Prng Ra_core Ra_crypto Ra_device Ra_malware Ra_sim Runs Scheme Smarm Smarm_sweep Stats Tablefmt Timebase

@@ -1,0 +1,1 @@
+lib/experiments/advisor.ml: Buffer Int List Printf

@@ -1,0 +1,1 @@
+lib/experiments/dos.ml: App Cpu Device Engine List Mp Printf Prng Ra_core Ra_device Ra_sim Scheme Stats Tablefmt Timebase

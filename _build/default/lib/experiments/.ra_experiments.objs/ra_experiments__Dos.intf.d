@@ -1,0 +1,1 @@
+lib/experiments/dos.mli: Ra_sim Timebase

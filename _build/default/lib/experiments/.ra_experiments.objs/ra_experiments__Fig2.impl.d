@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Cost_model Float List Printf Ra_crypto Ra_device Ra_sim Tablefmt

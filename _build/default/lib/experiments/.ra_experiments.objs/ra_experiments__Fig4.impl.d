@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Bytes Consistency Cpu Device Engine List Memory Mp Printf Prng Ra_core Ra_device Ra_sim Report Scheme String Tablefmt Timebase Timeline

@@ -1,0 +1,1 @@
+lib/experiments/fig4.mli: Ra_core Ra_sim Scheme Timebase

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Cost_model Device Engine Erasmus List Printf Prng Qoa Ra_core Ra_crypto Ra_device Ra_malware Ra_sim Report Tablefmt Timebase Timeline Verifier

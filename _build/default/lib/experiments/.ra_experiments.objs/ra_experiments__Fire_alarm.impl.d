@@ -1,0 +1,1 @@
+lib/experiments/fire_alarm.ml: App Device Engine List Mp Printf Prng Ra_core Ra_device Ra_sim Report Scheme Stats Tablefmt Timebase

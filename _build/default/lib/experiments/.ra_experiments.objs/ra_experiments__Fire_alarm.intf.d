@@ -1,0 +1,1 @@
+lib/experiments/fire_alarm.mli: Ra_core Ra_sim Scheme Timebase

@@ -1,0 +1,1 @@
+lib/experiments/incremental_eval.ml: Buffer Bytes Cost_model Device Engine Incremental List Memory Printf Prng Ra_core Ra_crypto Ra_device Ra_malware Ra_sim Tablefmt Timebase Verifier

@@ -1,0 +1,1 @@
+lib/experiments/incremental_eval.mli:

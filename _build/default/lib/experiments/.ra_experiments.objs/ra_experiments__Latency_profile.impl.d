@@ -1,0 +1,1 @@
+lib/experiments/latency_profile.ml: App Array Buffer Device Engine List Memory Mp Printf Prng Ra_core Ra_device Ra_sim Scheme Stats Tablefmt Timebase

@@ -1,0 +1,1 @@
+lib/experiments/latency_profile.mli: Ra_core

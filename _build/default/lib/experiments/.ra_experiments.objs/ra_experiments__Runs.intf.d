@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Ra_core Ra_crypto Ra_device Ra_malware Ra_sim Report Scheme Stats Timebase Verifier

@@ -1,0 +1,1 @@
+lib/experiments/smarm_sweep.ml: Array List Printf Prng Ra_core Ra_malware Ra_sim Runs Scheme Smarm Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/smarm_sweep.mli:

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: App Device Engine Erasmus Fig4 Fire_alarm List Mp Printf Prng Ra_core Ra_device Ra_malware Ra_sim Runs Scheme Stats Tablefmt Timebase Verifier

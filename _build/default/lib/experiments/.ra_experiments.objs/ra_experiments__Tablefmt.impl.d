@@ -1,0 +1,1 @@
+lib/experiments/tablefmt.ml: Array Buffer Hashtbl List Option Printf String

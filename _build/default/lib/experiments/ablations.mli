@@ -1,0 +1,31 @@
+(** Ablations over the design choices DESIGN.md calls out. *)
+
+val lock_granularity : ?seed:int -> unit -> string
+(** Block-count sweep (coarser vs finer locking) vs the application's write
+    stall under Dec-Lock and Inc-Lock: finer granularity frees hot blocks
+    sooner. *)
+
+val measurement_order : ?seed:int -> unit -> string
+(** Where the application's hot data blocks sit in the (sequential)
+    measurement order: Dec-Lock wants them measured first, Inc-Lock last —
+    the ordering advice of Section 3.1.2. *)
+
+val smarm_block_count : ?seed:int -> ?trials:int -> unit -> string
+(** SMARM per-round escape probability and per-round overhead as the block
+    count B varies. *)
+
+val zero_data_countermeasure : ?seed:int -> unit -> string
+(** Malware hiding inside a volatile data region (whose contents are
+    shipped verbatim to Vrf) escapes detection — unless the prover zeroes
+    data regions before measuring (Section 2.3). *)
+
+val platform_contrast : unit -> string
+(** The Section 2.5 tension on a low-end MCU instead of the ODROID: MP
+    durations explode, making atomic attestation untenable. *)
+
+val hybrid_schemes : ?seed:int -> ?trials:int -> unit -> string
+(** The design space is a cross product the paper's Table 1 only samples:
+    traversal order (sequential or shuffled) x locking. Measures detection
+    of the uniform rover and the evasive eraser plus the app write stall
+    for the hybrids — e.g. shuffled Dec-Lock detects both adversaries in a
+    single interruptible round, paying Dec-Lock's availability price. *)

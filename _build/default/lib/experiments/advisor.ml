@@ -1,0 +1,120 @@
+type profile = {
+  hard_deadline_ms : int option;
+  writes_during_attestation : bool;
+  unattended : bool;
+  has_mpu : bool;
+  has_shadow_memory : bool;
+  has_secure_clock : bool;
+  transient_threat : bool;
+}
+
+let default_profile =
+  {
+    hard_deadline_ms = Some 1000;
+    writes_during_attestation = true;
+    unattended = false;
+    has_mpu = true;
+    has_shadow_memory = false;
+    has_secure_clock = false;
+    transient_threat = true;
+  }
+
+type recommendation = { scheme : string; score : int; rationale : string list }
+
+(* Each rule adjusts the score and leaves a line of reasoning. The numbers
+   reference the measured experiments (fire-alarm, Table 1, hybrid matrix). *)
+let assess profile scheme =
+  let score = ref 10 in
+  let notes = ref [] in
+  let note delta line =
+    score := !score + delta;
+    notes := Printf.sprintf "%+d %s" delta line :: !notes
+  in
+  (match scheme with
+  | "SMART" ->
+    (match profile.hard_deadline_ms with
+    | Some d when d < 10_000 ->
+      note (-10)
+        (Printf.sprintf
+           "atomic MP blocks the app for the full measurement (~9.7 s/GiB) > %d ms deadline"
+           d)
+    | Some _ | None -> note 2 "no tight deadline: atomicity is free consistency");
+    note 2 "detects both self-relocating and transient malware (Table 1)"
+  | "No-Lock" ->
+    note (-8) "misses both the half-split rover and the evasive eraser (measured 0.00)";
+    note 3 "never blocks the app (2 ms latency throughout)"
+  | "All-Lock" ->
+    if not profile.has_mpu then note (-20) "needs a lockable MPU/MMU";
+    note 2 "detects both adversaries; consistent over [ts, te]";
+    if profile.writes_during_attestation then
+      note (-6) "app writes stall for most of the window (45.8 s cumulative measured)";
+    (match profile.hard_deadline_ms with
+    | Some d when d < 10_000 ->
+      note (-4) "stalled actuation writes miss deadlines during the measurement"
+    | Some _ | None -> ())
+  | "Dec-Lock" ->
+    if not profile.has_mpu then note (-20) "needs a lockable MPU/MMU";
+    note 2 "detects both adversaries; consistent at ts";
+    if profile.writes_during_attestation then
+      note (-3)
+        "write stall depends on measuring hot data first (0 s vs 45.8 s measured)"
+  | "Inc-Lock" ->
+    if not profile.has_mpu then note (-20) "needs a lockable MPU/MMU";
+    note 1 "consistent at te; catches self-relocating malware";
+    if profile.transient_threat then
+      note (-6) "the evasive eraser escapes (measured 0.00 transient detection)";
+    if profile.writes_during_attestation then
+      note 1 "small stall when hot data is measured last (82 ms measured)"
+  | "Cpy-Lock" ->
+    if not profile.has_mpu then note (-20) "needs a lockable MPU/MMU";
+    if not profile.has_shadow_memory then
+      note (-12) "needs shadow memory for diverted writes"
+    else begin
+      note 4 "detects both adversaries with zero write stall (measured)";
+      note 2 "consistent over the whole frozen window"
+    end
+  | "SMARM" ->
+    note 2 "no locking hardware needed; app latency unaffected (2 ms)";
+    note (-2) "needs ~14 rounds for 1e-6 escape: high measurement overhead";
+    if profile.transient_threat then
+      note (-5) "transient malware escapes between rounds (measured 0.00)"
+  | "ERASMUS" ->
+    if not profile.has_secure_clock then
+      note (-12) "needs a secure clock for the self-measurement schedule"
+    else begin
+      note 3 "catches infections that leave before any request (unattended column)";
+      if profile.unattended then note 5 "the only option measured to work unattended"
+    end;
+    (match profile.hard_deadline_ms with
+    | Some d when d < 10_000 ->
+      note (-3) "each self-measurement is atomic unless made context-aware"
+    | Some _ | None -> ())
+  | other -> note (-100) ("unknown scheme " ^ other));
+  { scheme; score = !score; rationale = List.rev !notes }
+
+let candidates =
+  [ "SMART"; "No-Lock"; "All-Lock"; "Dec-Lock"; "Inc-Lock"; "Cpy-Lock"; "SMARM"; "ERASMUS" ]
+
+let recommend profile =
+  List.sort
+    (fun a b -> Int.compare b.score a.score)
+    (List.map (assess profile) candidates)
+
+let render profile =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Scheme advisor — Table 1 as a decision procedure\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile: deadline=%s writes-during-MP=%b unattended=%b mpu=%b shadows=%b \
+        secure-clock=%b transient-threat=%b\n\n"
+       (match profile.hard_deadline_ms with
+       | Some d -> Printf.sprintf "%d ms" d
+       | None -> "none")
+       profile.writes_during_attestation profile.unattended profile.has_mpu
+       profile.has_shadow_memory profile.has_secure_clock profile.transient_threat);
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%-10s score %+d\n" r.scheme r.score);
+      List.iter (fun line -> Buffer.add_string buf ("    " ^ line ^ "\n")) r.rationale)
+    (recommend profile);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Operational summary of the paper's tradeoff analysis: given a device
+    and deployment profile, rank the schemes. This is Table 1 turned into a
+    decision procedure — every rule cites the measured behaviour behind it. *)
+
+type profile = {
+  hard_deadline_ms : int option;
+      (** tightest reaction deadline of the critical task, if any *)
+  writes_during_attestation : bool;  (** does the app write attested memory? *)
+  unattended : bool;  (** long gaps between verifier contacts *)
+  has_mpu : bool;  (** can lock/unlock memory regions *)
+  has_shadow_memory : bool;  (** headroom for copy-on-write shadows *)
+  has_secure_clock : bool;  (** can self-schedule measurements *)
+  transient_threat : bool;  (** is in-and-out malware part of the threat model *)
+}
+
+val default_profile : profile
+(** Interactive-verifier, MPU present, no shadows, no secure clock,
+    1 s deadline, writes during attestation, transient threat considered. *)
+
+type recommendation = {
+  scheme : string;
+  score : int;  (** higher is better; <= 0 means unsuitable *)
+  rationale : string list;  (** one line per rule that fired *)
+}
+
+val recommend : profile -> recommendation list
+(** All candidates, best first. Deterministic. *)
+
+val render : profile -> string

@@ -1,0 +1,110 @@
+open Ra_sim
+open Ra_device
+open Ra_core
+
+type mode = Authenticate_then_drop | Measure_on_request | Non_interactive
+
+let mode_name = function
+  | Authenticate_then_drop -> "authenticate-then-drop"
+  | Measure_on_request -> "measure-on-request"
+  | Non_interactive -> "non-interactive (SeED)"
+
+type result = {
+  mode : mode;
+  request_rate : float;
+  app_max_latency_s : float;
+  app_deadline_misses : int;
+  attacker_cpu_fraction : float;
+}
+
+let auth_time = Timebase.us 200
+
+let run ?(seed = 31) ?(horizon = Timebase.s 30) ~mode ~rate_per_s () =
+  let device =
+    Device.create
+      {
+        Device.default_config with
+        Device.seed;
+        block_size = 256;
+        modeled_block_bytes = 1024 * 1024; (* 64 MiB: MP ~ 0.58 s *)
+      }
+  in
+  let eng = device.Device.engine in
+  let app =
+    App.start eng device.Device.cpu device.Device.memory
+      { App.default_config with App.first_activation = Timebase.ms 100 }
+  in
+  let rng = Prng.split (Engine.prng eng) in
+  (* Bogus requests arrive as a Poisson process for the whole horizon. *)
+  let serve_request () =
+    match mode with
+    | Non_interactive -> ()
+    | Authenticate_then_drop ->
+      ignore
+        (Cpu.submit device.Device.cpu ~name:"dos-auth" ~priority:5
+           ~duration:auth_time
+           ~on_complete:(fun () -> ())
+           ())
+    | Measure_on_request ->
+      ignore
+        (Cpu.submit device.Device.cpu ~name:"dos-auth" ~priority:5 ~duration:auth_time
+           ~on_complete:(fun () ->
+             Mp.run device
+               { Mp.default_config with Mp.scheme = Scheme.smart }
+               ~nonce:(Prng.bytes rng 16)
+               ~on_complete:(fun _ -> ())
+               ())
+           ())
+  in
+  if rate_per_s > 0. then begin
+    let rec arrival at =
+      if at <= horizon then
+        ignore
+          (Engine.schedule eng ~at (fun _ ->
+               serve_request ();
+               let gap = Prng.exponential rng ~mean:(1e9 /. rate_per_s) in
+               arrival (Timebase.add at (max 1 (int_of_float gap)))))
+    in
+    arrival (Timebase.ms 200)
+  end;
+  Engine.run ~until:horizon eng;
+  App.stop app;
+  Engine.run ~until:(Timebase.add horizon (Timebase.s 20)) eng;
+  let elapsed = Timebase.to_seconds (Engine.now eng) in
+  let stats = App.latencies app in
+  let attacker_busy =
+    Cpu.busy_ns device.Device.cpu ~name:"dos-auth"
+    + Cpu.busy_ns device.Device.cpu ~name:"mp"
+  in
+  {
+    mode;
+    request_rate = rate_per_s;
+    app_max_latency_s = (if Stats.count stats = 0 then 0. else Stats.max_value stats);
+    app_deadline_misses = App.deadline_misses app;
+    attacker_cpu_fraction = float_of_int attacker_busy /. elapsed /. 1e9;
+  }
+
+let render ?seed () =
+  let rows =
+    List.concat_map
+      (fun mode ->
+        List.map
+          (fun rate ->
+            let r = run ?seed ~mode ~rate_per_s:rate () in
+            [
+              mode_name r.mode;
+              Printf.sprintf "%.0f/s" r.request_rate;
+              Printf.sprintf "%.3f s" r.app_max_latency_s;
+              string_of_int r.app_deadline_misses;
+              Printf.sprintf "%.1f%%" (r.attacker_cpu_fraction *. 100.);
+            ])
+          (match mode with
+          | Measure_on_request -> [ 0.; 1.; 2.; 10. ]
+          | Authenticate_then_drop | Non_interactive -> [ 0.; 10.; 100.; 1000. ]))
+      [ Authenticate_then_drop; Measure_on_request; Non_interactive ]
+  in
+  "E-DoS — request flooding vs prover availability (Section 3.3)\n"
+  ^ Tablefmt.render
+      ~header:
+        [ "prover mode"; "bogus requests"; "max app latency"; "deadline misses"; "CPU burnt" ]
+      rows

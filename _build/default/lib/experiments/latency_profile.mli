@@ -1,0 +1,17 @@
+(** Real-time view of the schemes: the critical application's latency
+    *distribution* (not just the worst case) while a 1 GiB measurement runs,
+    and a per-block lock-occupancy Gantt that makes the locking schemes'
+    sliding windows visible. *)
+
+val latency_table : ?seed:int -> unit -> string
+(** p50 / p95 / p99 / max activation-to-completion latency and deadline
+    misses per scheme, over ~35 s of 1 s activations with one measurement
+    in the middle. *)
+
+val lock_gantt : ?seed:int -> Ra_core.Scheme.t -> string
+(** One strip per block ([#] locked, [.] free) sampled over the measurement
+    window — All-Lock is a solid bar, Dec-Lock a receding staircase,
+    Inc-Lock a growing one. 16 blocks for readability. *)
+
+val render : ?seed:int -> unit -> string
+(** The table plus Gantts for All-, Dec- and Inc-Lock. *)

@@ -1,0 +1,178 @@
+open Ra_sim
+open Ra_device
+open Ra_core
+
+type adversary =
+  | No_malware
+  | Malicious of { behavior : Ra_malware.Malware.behavior; block : int }
+
+type setup = {
+  seed : int;
+  blocks : int;
+  block_size : int;
+  modeled_block_bytes : int;
+  data_blocks : int list;
+  cost : Cost_model.t;
+  hash : Ra_crypto.Algo.hash;
+  signature : Cost_model.signature_alg option;
+  mp_priority : int;
+  malware_priority : int;
+  app : App.config option;
+  rounds : int;
+  run_for : Timebase.t option;
+}
+
+let default_setup =
+  {
+    seed = 1;
+    blocks = 64;
+    block_size = 256;
+    modeled_block_bytes = 16 * 1024 * 1024;
+    data_blocks = [];
+    cost = Cost_model.odroid_xu4;
+    hash = Ra_crypto.Algo.SHA_256;
+    signature = None;
+    mp_priority = 5;
+    malware_priority = 8;
+    app = None;
+    rounds = 1;
+    run_for = None;
+  }
+
+type outcome = {
+  reports : Report.t list;
+  verdicts : Verifier.verdict list;
+  detected : bool;
+  malware_present_after : bool;
+  malware_relocations : int;
+  malware_blocked_actions : int;
+  app_latencies : Stats.t option;
+  app_deadline_misses : int;
+  app_blocked_ns : Timebase.t;
+  mp_busy_ns : Timebase.t;
+  device : Device.t;
+}
+
+let run setup ~scheme ~adversary =
+  let device =
+    Device.create
+      {
+        Device.seed = setup.seed;
+        blocks = setup.blocks;
+        block_size = setup.block_size;
+        modeled_block_bytes = setup.modeled_block_bytes;
+        data_blocks = setup.data_blocks;
+        cost = setup.cost;
+        key = Device.default_config.Device.key;
+      }
+  in
+  let eng = device.Device.engine in
+  let verifier =
+    Verifier.with_zero_data (Verifier.of_device device) scheme.Scheme.zero_data
+  in
+  let malware =
+    match adversary with
+    | No_malware -> None
+    | Malicious { behavior; block } ->
+      let rng = Prng.split (Engine.prng eng) in
+      Some
+        (Ra_malware.Malware.install device ~rng ~block
+           ~priority:setup.malware_priority behavior)
+  in
+  let app =
+    Option.map
+      (fun config -> App.start eng device.Device.cpu device.Device.memory config)
+      setup.app
+  in
+  let hooks =
+    match malware with
+    | None -> Mp.null_hooks
+    | Some m ->
+      {
+        Mp.on_start = (fun () -> Ra_malware.Malware.on_mp_start m);
+        on_block_measured =
+          (fun ~measured ~total ->
+            Ra_malware.Malware.on_block_measured m ~measured ~total);
+      }
+  in
+  let mp_config =
+    {
+      Mp.scheme;
+      hash = setup.hash;
+      signature = setup.signature;
+      priority = setup.mp_priority;
+      counter = None;
+    }
+  in
+  let reports = ref [] in
+  ignore
+    (Engine.schedule eng ~at:(Timebase.ms 1) (fun _ ->
+         let rec round k acc =
+           Mp.run device mp_config
+             ~nonce:(Prng.bytes (Engine.prng eng) 16)
+             ~hooks
+             ~on_complete:(fun r ->
+               let acc = r :: acc in
+               if k + 1 < setup.rounds then round (k + 1) acc
+               else reports := List.rev acc)
+             ()
+         in
+         round 0 []));
+  (match setup.run_for with
+  | None ->
+    (* Stop the app's infinite periodic schedule once the MP work is done:
+       run in bounded slices until at least one report exists, then let any
+       lock extension drain. *)
+    (match app with
+    | None -> Engine.run eng
+    | Some a ->
+      let rec pump guard =
+        if guard = 0 then failwith "Runs.run: simulation did not converge";
+        if !reports = [] || List.length !reports < setup.rounds then begin
+          Engine.run ~until:(Timebase.add (Engine.now eng) (Timebase.s 2)) eng;
+          pump (guard - 1)
+        end
+      in
+      pump 10_000;
+      App.stop a;
+      Engine.run ~until:(Timebase.add (Engine.now eng) (Timebase.s 5)) eng)
+  | Some horizon ->
+    Engine.run ~until:horizon eng;
+    Option.iter App.stop app;
+    Engine.run ~until:(Timebase.add horizon (Timebase.s 5)) eng);
+  let reports = !reports in
+  let verdicts = List.map (Verifier.verify verifier) reports in
+  let detected = List.exists (fun v -> v = Verifier.Tampered) verdicts in
+  {
+    reports;
+    verdicts;
+    detected;
+    malware_present_after =
+      (match malware with
+      | None -> false
+      | Some m -> Ra_malware.Malware.present m);
+    malware_relocations =
+      (match malware with None -> 0 | Some m -> Ra_malware.Malware.relocations m);
+    malware_blocked_actions =
+      (match malware with
+      | None -> 0
+      | Some m -> Ra_malware.Malware.blocked_actions m);
+    app_latencies = Option.map App.latencies app;
+    app_deadline_misses =
+      (match app with None -> 0 | Some a -> App.deadline_misses a);
+    app_blocked_ns = (match app with None -> 0 | Some a -> App.blocked_ns a);
+    mp_busy_ns =
+      Cpu.busy_ns device.Device.cpu ~name:"mp"
+      + Cpu.busy_ns device.Device.cpu ~name:"mp-sign";
+    device;
+  }
+
+let detection_rate setup ~scheme ~adversary ~trials =
+  if trials < 1 then invalid_arg "Runs.detection_rate: trials < 1";
+  let detected = ref 0 in
+  for trial = 0 to trials - 1 do
+    let outcome = run { setup with seed = setup.seed + (1000 * trial) } ~scheme ~adversary in
+    if outcome.detected then incr detected
+  done;
+  let rate = float_of_int !detected /. float_of_int trials in
+  (rate, Stats.binomial_confidence ~successes:!detected ~trials)

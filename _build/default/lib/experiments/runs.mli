@@ -1,0 +1,57 @@
+(** Canonical single-run harness: one device, one scheme, one adversary,
+    optionally the critical application, one measurement — fully wired and
+    executed to completion. Every higher-level experiment builds on this. *)
+
+open Ra_sim
+
+open Ra_core
+
+type adversary =
+  | No_malware
+  | Malicious of { behavior : Ra_malware.Malware.behavior; block : int }
+
+type setup = {
+  seed : int;
+  blocks : int;
+  block_size : int;  (** real bytes per block *)
+  modeled_block_bytes : int;  (** bytes charged to the cost model per block *)
+  data_blocks : int list;
+  cost : Ra_device.Cost_model.t;
+  hash : Ra_crypto.Algo.hash;
+  signature : Ra_device.Cost_model.signature_alg option;
+  mp_priority : int;
+  malware_priority : int;
+  app : Ra_device.App.config option;
+  rounds : int;  (** successive measurements (1 except for SMARM) *)
+  run_for : Timebase.t option;
+      (** keep simulating past the last report, e.g. to observe lock
+          extensions or post-measurement malware moves *)
+}
+
+val default_setup : setup
+(** 64 blocks x 256 B real / 16 MiB modeled (1 GiB total), SHA-256,
+    ODROID-XU4, MP priority 5, malware 8, no app, one round. *)
+
+type outcome = {
+  reports : Report.t list;  (** in round order *)
+  verdicts : Verifier.verdict list;
+  detected : bool;  (** some round reported tampering *)
+  malware_present_after : bool;
+  malware_relocations : int;
+  malware_blocked_actions : int;
+  app_latencies : Stats.t option;
+  app_deadline_misses : int;
+  app_blocked_ns : Timebase.t;
+  mp_busy_ns : Timebase.t;  (** CPU consumed by measurement + signing *)
+  device : Ra_device.Device.t;  (** post-run, for journal inspection *)
+}
+
+val run : setup -> scheme:Scheme.t -> adversary:adversary -> outcome
+(** Build the device, install the adversary, start the app if configured,
+    run [rounds] measurements back to back starting at t = 1 ms, verify
+    each report, and drain the engine. Deterministic in [setup.seed]. *)
+
+val detection_rate :
+  setup -> scheme:Scheme.t -> adversary:adversary -> trials:int -> float * (float * float)
+(** Fraction of [trials] independent seeds whose {!outcome.detected} is
+    true, with a 95% Wilson interval. *)

@@ -1,0 +1,83 @@
+open Ra_sim
+open Ra_core
+
+(* One round of the abstract game: the adversary survives if it is never
+   sitting in the block being measured. Positions and the secret permutation
+   are both uniform, so each of the B checks catches it with probability
+   1/B. *)
+let play_round rng ~blocks =
+  let order = Prng.permutation rng blocks in
+  let rec step i =
+    if i >= blocks then true
+    else begin
+      let position = Prng.int rng ~bound:blocks in
+      if position = order.(i) then false else step (i + 1)
+    end
+  in
+  step 0
+
+let game_escape_rate ~blocks ~rounds ~trials ~seed =
+  let rng = Prng.create ~seed in
+  let escaped = ref 0 in
+  for _ = 1 to trials do
+    let rec rounds_left k = k = 0 || (play_round rng ~blocks && rounds_left (k - 1)) in
+    if rounds_left rounds then incr escaped
+  done;
+  float_of_int !escaped /. float_of_int trials
+
+let simulated_escape_rate ~blocks ~rounds ~trials ~seed =
+  let setup =
+    {
+      Runs.default_setup with
+      Runs.blocks;
+      block_size = 64;
+      modeled_block_bytes = 1024 * 1024;
+      seed;
+      rounds;
+    }
+  in
+  let adversary =
+    Runs.Malicious
+      {
+        behavior = Ra_malware.Malware.Self_relocating Ra_malware.Malware.Uniform_hop;
+        block = blocks / 2;
+      }
+  in
+  let rate, interval = Runs.detection_rate setup ~scheme:Scheme.smarm ~adversary ~trials in
+  let lo, hi = interval in
+  (1. -. rate, (1. -. hi, 1. -. lo))
+
+let sweep_rounds ~blocks ~max_rounds ~game_trials ~seed =
+  let rows =
+    List.init max_rounds (fun i ->
+        let k = i + 1 in
+        let theory = Smarm.escape_probability ~blocks ~rounds:k in
+        let game = game_escape_rate ~blocks ~rounds:k ~trials:game_trials ~seed in
+        [
+          string_of_int k;
+          Printf.sprintf "%.3e" theory;
+          Printf.sprintf "%.3e" game;
+          Printf.sprintf "%.3e" (exp (-.float_of_int k));
+        ])
+  in
+  let target = 1e-6 in
+  Tablefmt.render
+    ~header:[ "rounds"; "theory (1-1/B)^Bk"; "abstract game"; "e^-k" ]
+    rows
+  ^ Printf.sprintf "rounds for escape < %.0e with B=%d: %d (paper: ~13)\n" target
+      blocks
+      (Smarm.rounds_for_target ~blocks ~target)
+
+let sweep_blocks ~blocks_list ~trials ~seed =
+  let rows =
+    List.map
+      (fun blocks ->
+        [
+          string_of_int blocks;
+          Printf.sprintf "%.4f" (Smarm.per_round_escape_probability ~blocks);
+          Printf.sprintf "%.4f" (game_escape_rate ~blocks ~rounds:1 ~trials ~seed);
+        ])
+      blocks_list
+  in
+  Tablefmt.render ~header:[ "B (blocks)"; "theory (1-1/B)^B"; "abstract game" ] rows
+  ^ Printf.sprintf "limit e^-1 = %.4f\n" (exp (-1.))

@@ -1,0 +1,54 @@
+let render ~header rows =
+  let columns = List.length header in
+  let pad row =
+    let missing = columns - List.length row in
+    if missing > 0 then row @ List.init missing (fun _ -> "") else row
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < columns then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "%-*s" widths.(i) cell);
+        if i < columns - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  emit (List.init columns (fun i -> String.make widths.(i) '-'));
+  List.iter emit rows;
+  Buffer.contents buf
+
+let render_series ~x_label ~series =
+  (* Keep x values in first-appearance order: callers pass them sorted in
+     the meaningful (usually numeric) order already. *)
+  let xs =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun x ->
+        if Hashtbl.mem seen x then false
+        else begin
+          Hashtbl.add seen x ();
+          true
+        end)
+      (List.concat_map (fun (_, points) -> List.map fst points) series)
+  in
+  let header = x_label :: List.map fst series in
+  let rows =
+    List.map
+      (fun x ->
+        x
+        :: List.map
+             (fun (_, points) ->
+               Option.value ~default:"" (List.assoc_opt x points))
+             series)
+      xs
+  in
+  render ~header rows

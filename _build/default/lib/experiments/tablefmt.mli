@@ -1,0 +1,9 @@
+(** Fixed-width text tables for the experiment harnesses. *)
+
+val render : header:string list -> string list list -> string
+(** Column widths fit the widest cell; header separated by a rule. Rows
+    shorter than the header are right-padded with empty cells. *)
+
+val render_series : x_label:string -> series:(string * (string * string) list) list -> string
+(** Render several named (x, y) series sharing the x column:
+    one row per x value, one column per series. Missing points are blank. *)

@@ -1,0 +1,1 @@
+lib/hydra/capability.mli:

@@ -1,0 +1,1 @@
+lib/hydra/hydra.ml: App Array Capability Device Engine List Memory Printf Ra_core Ra_crypto Ra_device Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/hydra/hydra.mli: Bytes Capability Ra_core Ra_crypto Ra_device Ra_sim Timebase

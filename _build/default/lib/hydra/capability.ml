@@ -1,0 +1,35 @@
+type right = Read | Write | Execute
+
+type capability = { first_block : int; block_span : int; rights : right list }
+
+type pid = string
+
+type t = {
+  table : (pid, capability list) Hashtbl.t;
+  mutable order : pid list; (* first-grant order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 8; order = [] }
+
+let grant t pid capability =
+  if capability.block_span < 1 || capability.first_block < 0 then
+    invalid_arg "Capability.grant: bad region";
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.table pid) in
+  if existing = [] && not (List.mem pid t.order) then t.order <- pid :: t.order;
+  Hashtbl.replace t.table pid (existing @ [ capability ])
+
+let revoke_all t pid = Hashtbl.remove t.table pid
+
+let covers capability right ~block =
+  block >= capability.first_block
+  && block < capability.first_block + capability.block_span
+  && List.mem right capability.rights
+
+let allows t pid right ~block =
+  match Hashtbl.find_opt t.table pid with
+  | None -> false
+  | Some capabilities -> List.exists (fun c -> covers c right ~block) capabilities
+
+let regions_of t pid = Option.value ~default:[] (Hashtbl.find_opt t.table pid)
+
+let pids t = List.rev (List.filter (Hashtbl.mem t.table) t.order)

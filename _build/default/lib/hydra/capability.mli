@@ -1,0 +1,36 @@
+(** seL4-style capabilities over the prover's block memory: the mechanism
+    HYDRA uses to express SMART's hard-wired access-control rules in
+    software (Section 2.1).
+
+    A process may only touch a block if it holds a capability whose region
+    covers it with the needed right. Capabilities are granted at system
+    build time (the verified microkernel guarantees they cannot be forged),
+    so checks here are pure lookups. *)
+
+type right = Read | Write | Execute
+
+type capability = {
+  first_block : int;
+  block_span : int;
+  rights : right list;
+}
+
+type pid = string
+
+type t
+
+val create : unit -> t
+
+val grant : t -> pid -> capability -> unit
+(** Capabilities accumulate; granting never revokes. *)
+
+val revoke_all : t -> pid -> unit
+
+val allows : t -> pid -> right -> block:int -> bool
+(** Does [pid] hold some capability covering [block] with [right]? *)
+
+val regions_of : t -> pid -> capability list
+(** In grant order. *)
+
+val pids : t -> pid list
+(** Processes holding at least one capability, in first-grant order. *)

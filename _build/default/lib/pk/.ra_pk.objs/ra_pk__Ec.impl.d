@@ -1,0 +1,1 @@
+lib/pk/ec.ml: List Nat Ra_bignum String

@@ -1,0 +1,1 @@
+lib/pk/ec.mli: Nat Ra_bignum

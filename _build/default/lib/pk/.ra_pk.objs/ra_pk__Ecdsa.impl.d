@@ -1,0 +1,1 @@
+lib/pk/ecdsa.ml: Buffer Bytes Ec Nat Ra_bignum Ra_crypto

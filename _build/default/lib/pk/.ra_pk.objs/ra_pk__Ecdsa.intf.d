@@ -1,0 +1,1 @@
+lib/pk/ecdsa.mli: Bytes Ec Nat Ra_bignum Ra_crypto Ra_sim

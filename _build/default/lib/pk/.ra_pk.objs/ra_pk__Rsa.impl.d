@@ -1,0 +1,1 @@
+lib/pk/rsa.ml: Bytes Nat Ra_bignum Ra_crypto Rsa_keys

@@ -1,0 +1,1 @@
+lib/pk/rsa.mli: Bytes Nat Ra_bignum

@@ -1,0 +1,1 @@
+lib/pk/rsa_keys.ml:

@@ -1,0 +1,163 @@
+open Ra_bignum
+
+type curve = {
+  name : string;
+  p : Nat.t;
+  a : Nat.t;
+  b : Nat.t;
+  gx : Nat.t;
+  gy : Nat.t;
+  n : Nat.t;
+}
+
+type point = Infinity | Affine of Nat.t * Nat.t
+
+let h = Nat.of_hex
+
+let secp160r1 =
+  {
+    name = "secp160r1";
+    p = h "ffffffffffffffffffffffffffffffff7fffffff";
+    a = h "ffffffffffffffffffffffffffffffff7ffffffc";
+    b = h "1c97befc54bd7a8b65acf89f81d4d4adc565fa45";
+    gx = h "4a96b5688ef573284664698968c38bb913cbfc82";
+    gy = h "23a628553168947d59dcc912042351377ac5fb32";
+    n = h "0100000000000000000001f4c8f927aed3ca752257";
+  }
+
+let secp224r1 =
+  {
+    name = "secp224r1";
+    p = h "ffffffffffffffffffffffffffffffff000000000000000000000001";
+    a = h "fffffffffffffffffffffffffffffffefffffffffffffffffffffffe";
+    b = h "b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4";
+    gx = h "b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21";
+    gy = h "bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34";
+    n = h "ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d";
+  }
+
+let secp256r1 =
+  {
+    name = "secp256r1";
+    p = h "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+    a = h "ffffffff00000001000000000000000000000000fffffffffffffffffffffffc";
+    b = h "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+    gx = h "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+    gy = h "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+    n = h "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+  }
+
+let all_curves = [ secp160r1; secp224r1; secp256r1 ]
+
+let curve_of_name name =
+  List.find_opt (fun c -> String.equal c.name (String.lowercase_ascii name)) all_curves
+
+let generator c = Affine (c.gx, c.gy)
+
+let is_on_curve c = function
+  | Infinity -> true
+  | Affine (x, y) ->
+    let p = c.p in
+    let y2 = Nat.mod_mul y y ~modulus:p in
+    let x3 = Nat.mod_mul (Nat.mod_mul x x ~modulus:p) x ~modulus:p in
+    let rhs =
+      Nat.mod_add (Nat.mod_add x3 (Nat.mod_mul c.a x ~modulus:p) ~modulus:p) c.b
+        ~modulus:p
+    in
+    Nat.equal y2 rhs
+
+let negate c = function
+  | Infinity -> Infinity
+  | Affine (x, y) ->
+    if Nat.is_zero y then Affine (x, y) else Affine (x, Nat.sub c.p y)
+
+(* Jacobian coordinates: (X, Y, Z) represents affine (X/Z^2, Y/Z^3);
+   Z = 0 is the point at infinity. *)
+type jac = { jx : Nat.t; jy : Nat.t; jz : Nat.t }
+
+let jac_infinity = { jx = Nat.one; jy = Nat.one; jz = Nat.zero }
+
+let jac_of_point = function
+  | Infinity -> jac_infinity
+  | Affine (x, y) -> { jx = x; jy = y; jz = Nat.one }
+
+let point_of_jac c j =
+  if Nat.is_zero j.jz then Infinity
+  else begin
+    let p = c.p in
+    let z_inv =
+      match Nat.mod_inverse j.jz ~modulus:p with
+      | Some v -> v
+      | None -> assert false (* p is prime and jz <> 0 *)
+    in
+    let z_inv2 = Nat.mod_mul z_inv z_inv ~modulus:p in
+    let z_inv3 = Nat.mod_mul z_inv2 z_inv ~modulus:p in
+    Affine (Nat.mod_mul j.jx z_inv2 ~modulus:p, Nat.mod_mul j.jy z_inv3 ~modulus:p)
+  end
+
+let jac_double c q =
+  if Nat.is_zero q.jz || Nat.is_zero q.jy then jac_infinity
+  else begin
+    let p = c.p in
+    let ( * ) x y = Nat.mod_mul x y ~modulus:p in
+    let ( + ) x y = Nat.mod_add x y ~modulus:p in
+    let ( - ) x y = Nat.mod_sub x y ~modulus:p in
+    let xx = q.jx * q.jx in
+    let yy = q.jy * q.jy in
+    let yyyy = yy * yy in
+    let zz = q.jz * q.jz in
+    let s = yy * q.jx in
+    let s = s + s + s + s in
+    let m = xx + xx + xx + (c.a * (zz * zz)) in
+    let x' = (m * m) - (s + s) in
+    let eight_yyyy = let t = yyyy + yyyy in let t = t + t in t + t in
+    let y' = (m * (s - x')) - eight_yyyy in
+    let z' = let t = q.jy * q.jz in t + t in
+    { jx = x'; jy = y'; jz = z' }
+  end
+
+let jac_add c q1 q2 =
+  if Nat.is_zero q1.jz then q2
+  else if Nat.is_zero q2.jz then q1
+  else begin
+    let p = c.p in
+    let ( * ) x y = Nat.mod_mul x y ~modulus:p in
+    let ( + ) x y = Nat.mod_add x y ~modulus:p in
+    let ( - ) x y = Nat.mod_sub x y ~modulus:p in
+    let z1z1 = q1.jz * q1.jz in
+    let z2z2 = q2.jz * q2.jz in
+    let u1 = q1.jx * z2z2 in
+    let u2 = q2.jx * z1z1 in
+    let s1 = q1.jy * (q2.jz * z2z2) in
+    let s2 = q2.jy * (q1.jz * z1z1) in
+    if Nat.equal u1 u2 then
+      if Nat.equal s1 s2 then jac_double c q1 else jac_infinity
+    else begin
+      let hh = u2 - u1 in
+      let r = s2 - s1 in
+      let hh2 = hh * hh in
+      let hh3 = hh2 * hh in
+      let v = u1 * hh2 in
+      let x3 = (r * r) - hh3 - (v + v) in
+      let y3 = (r * (v - x3)) - (s1 * hh3) in
+      let z3 = q1.jz * q2.jz * hh in
+      { jx = x3; jy = y3; jz = z3 }
+    end
+  end
+
+let double c pt = point_of_jac c (jac_double c (jac_of_point pt))
+
+let add c pt1 pt2 = point_of_jac c (jac_add c (jac_of_point pt1) (jac_of_point pt2))
+
+let scalar_mul c k pt =
+  let k = Nat.rem k c.n in
+  if Nat.is_zero k then Infinity
+  else begin
+    let base = jac_of_point pt in
+    let acc = ref jac_infinity in
+    for i = Nat.bit_length k - 1 downto 0 do
+      acc := jac_double c !acc;
+      if Nat.test_bit k i then acc := jac_add c !acc base
+    done;
+    point_of_jac c !acc
+  end

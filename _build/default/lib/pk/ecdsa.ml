@@ -1,0 +1,145 @@
+open Ra_bignum
+
+type keypair = { curve : Ec.curve; d : Nat.t; q : Ec.point }
+
+type signature = { r : Nat.t; s : Nat.t }
+
+let keypair_of_scalar curve scalar =
+  let d = Nat.rem scalar curve.Ec.n in
+  if Nat.is_zero d then invalid_arg "Ecdsa.keypair_of_scalar: zero scalar";
+  { curve; d; q = Ec.scalar_mul curve d (Ec.generator curve) }
+
+let generate curve rng =
+  let n_minus_1 = Nat.sub curve.Ec.n Nat.one in
+  let d = Nat.add (Nat.random_below rng ~bound:n_minus_1) Nat.one in
+  { curve; d; q = Ec.scalar_mul curve d (Ec.generator curve) }
+
+(* FIPS 186-4: z is the leftmost [bitlen n] bits of the digest. *)
+let truncated_digest ~hash curve msg =
+  let digest = Ra_crypto.Algo.digest hash msg in
+  let z = Nat.of_bytes_be digest in
+  let digest_bits = 8 * Bytes.length digest in
+  let n_bits = Nat.bit_length curve.Ec.n in
+  if digest_bits > n_bits then Nat.shift_right z (digest_bits - n_bits) else z
+
+let sign ~hash keypair rng msg =
+  let curve = keypair.curve in
+  let n = curve.Ec.n in
+  let z = truncated_digest ~hash curve msg in
+  let n_minus_1 = Nat.sub n Nat.one in
+  let rec attempt () =
+    let k = Nat.add (Nat.random_below rng ~bound:n_minus_1) Nat.one in
+    match Ec.scalar_mul curve k (Ec.generator curve) with
+    | Ec.Infinity -> attempt ()
+    | Ec.Affine (x1, _) ->
+      let r = Nat.rem x1 n in
+      if Nat.is_zero r then attempt ()
+      else begin
+        match Nat.mod_inverse k ~modulus:n with
+        | None -> attempt ()
+        | Some k_inv ->
+          let rd = Nat.mod_mul r keypair.d ~modulus:n in
+          let s = Nat.mod_mul k_inv (Nat.mod_add (Nat.rem z n) rd ~modulus:n) ~modulus:n in
+          if Nat.is_zero s then attempt () else { r; s }
+      end
+  in
+  attempt ()
+
+(* RFC 6979 section 3.2: derive the nonce from the key and message digest
+   through an HMAC-SHA-256 DRBG, so signing needs no randomness at all. *)
+let rfc6979_nonce ~curve ~d ~digest =
+  let n = curve.Ec.n in
+  let qlen = Nat.bit_length n in
+  let rlen = (qlen + 7) / 8 in
+  let bits2int b =
+    let z = Nat.of_bytes_be b in
+    let blen = 8 * Bytes.length b in
+    if blen > qlen then Nat.shift_right z (blen - qlen) else z
+  in
+  let int2octets z = Nat.to_bytes_be ~size:rlen z in
+  let bits2octets b =
+    let z1 = bits2int b in
+    let z2 = if Nat.compare z1 n >= 0 then Nat.sub z1 n else z1 in
+    int2octets z2
+  in
+  let hmac ~key msg = Ra_crypto.Hmac.Sha256.mac ~key msg in
+  let x = int2octets d in
+  let h1 = bits2octets digest in
+  let v = ref (Bytes.make 32 '\x01') in
+  let k = ref (Bytes.make 32 '\x00') in
+  let concat parts = Bytes.concat Bytes.empty parts in
+  k := hmac ~key:!k (concat [ !v; Bytes.make 1 '\x00'; x; h1 ]);
+  v := hmac ~key:!k !v;
+  k := hmac ~key:!k (concat [ !v; Bytes.make 1 '\x01'; x; h1 ]);
+  v := hmac ~key:!k !v;
+  let rec generate () =
+    let t = Buffer.create rlen in
+    while Buffer.length t < rlen do
+      v := hmac ~key:!k !v;
+      Buffer.add_bytes t !v
+    done;
+    let candidate = bits2int (Bytes.sub (Buffer.to_bytes t) 0 rlen) in
+    if (not (Nat.is_zero candidate)) && Nat.compare candidate n < 0 then candidate
+    else begin
+      k := hmac ~key:!k (concat [ !v; Bytes.make 1 '\x00' ]);
+      v := hmac ~key:!k !v;
+      generate ()
+    end
+  in
+  generate ()
+
+let sign_deterministic ~hash keypair msg =
+  let curve = keypair.curve in
+  let n = curve.Ec.n in
+  let digest = Ra_crypto.Algo.digest hash msg in
+  let z = truncated_digest ~hash curve msg in
+  let rec attempt extra =
+    (* the RFC loop re-derives on the (practically unreachable) r = 0 or
+       s = 0 cases by continuing the DRBG; folding a counter into the
+       digest is an equivalent deterministic restart *)
+    let digest =
+      if extra = 0 then digest
+      else Ra_crypto.Algo.digest hash (Bytes.cat digest (Bytes.make extra '\xCC'))
+    in
+    let k = rfc6979_nonce ~curve ~d:keypair.d ~digest in
+    match Ec.scalar_mul curve k (Ec.generator curve) with
+    | Ec.Infinity -> attempt (extra + 1)
+    | Ec.Affine (x1, _) ->
+      let r = Nat.rem x1 n in
+      if Nat.is_zero r then attempt (extra + 1)
+      else begin
+        match Nat.mod_inverse k ~modulus:n with
+        | None -> attempt (extra + 1)
+        | Some k_inv ->
+          let rd = Nat.mod_mul r keypair.d ~modulus:n in
+          let s =
+            Nat.mod_mul k_inv (Nat.mod_add (Nat.rem z n) rd ~modulus:n) ~modulus:n
+          in
+          if Nat.is_zero s then attempt (extra + 1) else { r; s }
+      end
+  in
+  attempt 0
+
+let in_range v ~n = (not (Nat.is_zero v)) && Nat.compare v n < 0
+
+let verify ~hash ~curve ~public msg { r; s } =
+  let n = curve.Ec.n in
+  in_range r ~n && in_range s ~n && Ec.is_on_curve curve public
+  && public <> Ec.Infinity
+  &&
+  let z = truncated_digest ~hash curve msg in
+  match Nat.mod_inverse s ~modulus:n with
+  | None -> false
+  | Some w ->
+    let u1 = Nat.mod_mul (Nat.rem z n) w ~modulus:n in
+    let u2 = Nat.mod_mul r w ~modulus:n in
+    let point =
+      Ec.add curve
+        (Ec.scalar_mul curve u1 (Ec.generator curve))
+        (Ec.scalar_mul curve u2 public)
+    in
+    begin
+      match point with
+      | Ec.Infinity -> false
+      | Ec.Affine (x, _) -> Nat.equal (Nat.rem x n) r
+    end

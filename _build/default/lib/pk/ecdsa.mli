@@ -1,0 +1,35 @@
+(** ECDSA signatures (FIPS 186-4) over the curves of {!Ec}. *)
+
+open Ra_bignum
+
+type keypair = {
+  curve : Ec.curve;
+  d : Nat.t;  (** private scalar, in [\[1, n-1\]] *)
+  q : Ec.point;  (** public point [d * G] *)
+}
+
+type signature = { r : Nat.t; s : Nat.t }
+
+val generate : Ec.curve -> Ra_sim.Prng.t -> keypair
+
+val keypair_of_scalar : Ec.curve -> Nat.t -> keypair
+(** Deterministic keypair from a known scalar (reduced into [\[1, n-1\]]);
+    used for reproducible fixtures. Raises [Invalid_argument] if the scalar
+    reduces to zero. *)
+
+val sign :
+  hash:Ra_crypto.Algo.hash -> keypair -> Ra_sim.Prng.t -> Bytes.t -> signature
+(** Hash-and-sign with a random (rejection-sampled) nonce. *)
+
+val sign_deterministic : hash:Ra_crypto.Algo.hash -> keypair -> Bytes.t -> signature
+(** RFC 6979 deterministic nonces (HMAC-SHA-256 DRBG): the right mode for
+    embedded provers without an entropy source — same message, same
+    signature, and no nonce-reuse catastrophe. *)
+
+val verify :
+  hash:Ra_crypto.Algo.hash ->
+  curve:Ec.curve ->
+  public:Ec.point ->
+  Bytes.t ->
+  signature ->
+  bool

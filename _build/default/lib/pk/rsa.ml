@@ -1,0 +1,66 @@
+open Ra_bignum
+
+type public_key = { n : Nat.t; e : Nat.t; bits : int }
+
+type private_key = { pub : public_key; d : Nat.t }
+
+let make_key ~n_hex ~d_hex ~bits =
+  let n = Nat.of_hex n_hex in
+  { pub = { n; e = Nat.of_int Rsa_keys.e; bits }; d = Nat.of_hex d_hex }
+
+let test_key_1024 = make_key ~n_hex:Rsa_keys.n1024 ~d_hex:Rsa_keys.d1024 ~bits:1024
+let test_key_2048 = make_key ~n_hex:Rsa_keys.n2048 ~d_hex:Rsa_keys.d2048 ~bits:2048
+let test_key_4096 = make_key ~n_hex:Rsa_keys.n4096 ~d_hex:Rsa_keys.d4096 ~bits:4096
+
+let test_key ~bits =
+  match bits with
+  | 1024 -> test_key_1024
+  | 2048 -> test_key_2048
+  | 4096 -> test_key_4096
+  | _ -> invalid_arg "Rsa.test_key: no fixture for this size"
+
+type hash = SHA_256 | SHA_512
+
+(* DER DigestInfo prefixes from RFC 8017 section 9.2. *)
+let digest_info = function
+  | SHA_256 -> Ra_crypto.Bytesutil.of_hex "3031300d060960864801650304020105000420"
+  | SHA_512 -> Ra_crypto.Bytesutil.of_hex "3051300d060960864801650304020305000440"
+
+let digest = function
+  | SHA_256 -> Ra_crypto.Sha256.digest
+  | SHA_512 -> Ra_crypto.Sha512.digest
+
+(* EMSA-PKCS1-v1_5: 0x00 0x01 FF..FF 0x00 DigestInfo Hash(msg). *)
+let encode ~hash ~em_len msg =
+  let info = digest_info hash in
+  let h = digest hash msg in
+  let t_len = Bytes.length info + Bytes.length h in
+  if em_len < t_len + 11 then invalid_arg "Rsa: modulus too small for hash";
+  let em = Bytes.make em_len '\xff' in
+  Bytes.set em 0 '\x00';
+  Bytes.set em 1 '\x01';
+  Bytes.set em (em_len - t_len - 1) '\x00';
+  Bytes.blit info 0 em (em_len - t_len) (Bytes.length info);
+  Bytes.blit h 0 em (em_len - Bytes.length h) (Bytes.length h);
+  em
+
+let raw_private key m = Nat.mod_pow_fast ~base:m ~exponent:key.d ~modulus:key.pub.n
+
+let raw_public key m = Nat.mod_pow_fast ~base:m ~exponent:key.e ~modulus:key.n
+
+let sign ~hash key msg =
+  let em_len = key.pub.bits / 8 in
+  let em = encode ~hash ~em_len msg in
+  let m = Nat.of_bytes_be em in
+  Nat.to_bytes_be ~size:em_len (raw_private key m)
+
+let verify ~hash key ~msg ~signature =
+  let em_len = key.bits / 8 in
+  Bytes.length signature = em_len
+  &&
+  let s = Nat.of_bytes_be signature in
+  Nat.compare s key.n < 0
+  &&
+  let em = Nat.to_bytes_be ~size:em_len (raw_public key s) in
+  let expected = encode ~hash ~em_len msg in
+  Ra_crypto.Bytesutil.constant_time_equal em expected

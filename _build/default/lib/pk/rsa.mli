@@ -1,0 +1,32 @@
+(** RSA hash-and-sign (EMSA-PKCS1-v1_5, RFC 8017) with fixed embedded keys.
+
+    Key generation is out of scope (the paper only measures sign/verify
+    cost); the three key sizes of Fig. 2 ship as reproducible fixtures. *)
+
+open Ra_bignum
+
+type public_key = { n : Nat.t; e : Nat.t; bits : int }
+
+type private_key = { pub : public_key; d : Nat.t }
+
+val test_key_1024 : private_key
+val test_key_2048 : private_key
+val test_key_4096 : private_key
+
+val test_key : bits:int -> private_key
+(** One of the three fixtures. Raises [Invalid_argument] otherwise. *)
+
+type hash = SHA_256 | SHA_512
+(** Hashes with a standard DigestInfo encoding. *)
+
+val sign : hash:hash -> private_key -> Bytes.t -> Bytes.t
+(** Signature of [bits/8] bytes. Raises [Invalid_argument] if the modulus is
+    too small for the chosen hash (cannot happen with the fixtures). *)
+
+val verify : hash:hash -> public_key -> msg:Bytes.t -> signature:Bytes.t -> bool
+
+val raw_private : private_key -> Nat.t -> Nat.t
+(** Textbook RSA private operation [m^d mod n], exposed for tests. *)
+
+val raw_public : public_key -> Nat.t -> Nat.t
+(** Textbook RSA public operation [m^e mod n], exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/sim/channel.mli: Engine Timebase

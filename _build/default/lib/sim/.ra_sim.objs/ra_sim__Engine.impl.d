@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Hashtbl Heap Printf Prng Timebase Trace

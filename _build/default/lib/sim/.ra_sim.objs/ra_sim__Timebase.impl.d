@@ -1,0 +1,1 @@
+lib/sim/timebase.ml: Float Format Int

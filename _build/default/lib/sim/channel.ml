@@ -1,0 +1,44 @@
+type config = {
+  delay : Timebase.t;
+  jitter : Timebase.t;
+  loss : float;
+  duplicate : float;
+}
+
+let ideal = { delay = Timebase.ms 40; jitter = 0; loss = 0.; duplicate = 0. }
+
+type 'a t = {
+  engine : Engine.t;
+  config : config;
+  deliver : 'a -> unit;
+  rng : Prng.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create engine config ~deliver =
+  if config.loss < 0. || config.loss > 1. then invalid_arg "Channel: bad loss";
+  if config.duplicate < 0. || config.duplicate > 1. then
+    invalid_arg "Channel: bad duplicate";
+  { engine; config; deliver; rng = Prng.split (Engine.prng engine); sent = 0; delivered = 0 }
+
+let deliver_copy t message =
+  let latency =
+    Timebase.add t.config.delay
+      (if t.config.jitter > 0 then Prng.int t.rng ~bound:(t.config.jitter + 1) else 0)
+  in
+  ignore
+    (Engine.schedule_after t.engine ~delay:latency (fun _ ->
+         t.delivered <- t.delivered + 1;
+         t.deliver message))
+
+let send t message =
+  t.sent <- t.sent + 1;
+  if not (Prng.bernoulli t.rng ~p:t.config.loss) then begin
+    deliver_copy t message;
+    if Prng.bernoulli t.rng ~p:t.config.duplicate then deliver_copy t message
+  end
+
+let sent t = t.sent
+
+let delivered t = t.delivered

@@ -1,0 +1,27 @@
+(** A point-to-point message channel with delay, jitter, loss and
+    duplication — the network between verifier and prover. *)
+
+type config = {
+  delay : Timebase.t;  (** base one-way latency *)
+  jitter : Timebase.t;  (** extra uniform latency in [\[0, jitter\]] *)
+  loss : float;  (** independent per-message loss probability *)
+  duplicate : float;  (** probability a delivered message arrives twice *)
+}
+
+val ideal : config
+(** 40 ms, no jitter, no loss, no duplication. *)
+
+type 'a t
+
+val create : Engine.t -> config -> deliver:('a -> unit) -> 'a t
+(** [deliver] runs at the (jittered) arrival time of each surviving copy. *)
+
+val send : 'a t -> 'a -> unit
+(** Queue a message now. Loss and duplication are decided per send from the
+    engine's random stream, so runs are reproducible. *)
+
+val sent : 'a t -> int
+(** Messages handed to {!send}. *)
+
+val delivered : 'a t -> int
+(** Copies actually delivered (duplicates count twice). *)

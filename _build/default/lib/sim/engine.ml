@@ -1,0 +1,97 @@
+type event_id = int
+
+type t = {
+  mutable clock : Timebase.t;
+  mutable next_seq : int;
+  mutable live : int;
+  queue : (t -> unit) Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  prng : Prng.t;
+  trace : Trace.t;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = Timebase.zero;
+    next_seq = 0;
+    live = 0;
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    prng = Prng.create ~seed;
+    trace = Trace.create ();
+  }
+
+let now t = t.clock
+
+let prng t = t.prng
+
+let trace t = t.trace
+
+let record t ~tag detail = Trace.record t.trace ~time:t.clock ~tag detail
+
+let recordf t ~tag fmt = Trace.recordf t.trace ~time:t.clock ~tag fmt
+
+let schedule t ~at callback =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %d is before now %d" at t.clock);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue ~key:at ~seq callback;
+  seq
+
+let schedule_after t ~delay callback =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(Timebase.add t.clock delay) callback
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+(* Pop until a non-cancelled event is found. *)
+let rec pop_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some (time, seq, callback) ->
+    if Hashtbl.mem t.cancelled seq then begin
+      Hashtbl.remove t.cancelled seq;
+      pop_live t
+    end
+    else Some (time, callback)
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some (time, callback) ->
+    t.clock <- time;
+    t.live <- t.live - 1;
+    callback t;
+    true
+
+let rec peek_live t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some (time, seq, _) ->
+    if Hashtbl.mem t.cancelled seq then begin
+      ignore (Heap.pop t.queue);
+      Hashtbl.remove t.cancelled seq;
+      peek_live t
+    end
+    else Some time
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match peek_live t with
+      | Some time when time <= horizon -> ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    if t.clock < horizon then t.clock <- horizon

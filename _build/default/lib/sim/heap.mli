@@ -1,0 +1,24 @@
+(** Minimal binary min-heap keyed by [(int, int)] pairs.
+
+    The primary key is the event time, the secondary key a monotonically
+    increasing sequence number so that ties break in insertion order —
+    the property a deterministic discrete-event simulator needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** Insert a value with priority [(key, seq)]. O(log n). *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum [(key, seq, value)]. O(log n). *)
+
+val peek : 'a t -> (int * int * 'a) option
+(** Return the minimum without removing it. O(1). *)
+
+val clear : 'a t -> unit

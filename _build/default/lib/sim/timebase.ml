@@ -1,0 +1,28 @@
+type t = int
+
+let zero = 0
+
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let minutes n = n * 60_000_000_000
+
+let of_seconds f = int_of_float (Float.round (f *. 1e9))
+
+let to_seconds t = float_of_int t /. 1e9
+
+let add = ( + )
+let sub = ( - )
+let compare = Int.compare
+
+(* Pick the largest unit that keeps the mantissa >= 1, as oscilloscopes do. *)
+let pp fmt t =
+  let f = float_of_int t in
+  if t = 0 then Format.fprintf fmt "0 s"
+  else if f >= 1e9 then Format.fprintf fmt "%.3f s" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf fmt "%.3f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf fmt "%.3f us" (f /. 1e3)
+  else Format.fprintf fmt "%d ns" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+type entry = { time : Timebase.t; tag : string; detail : string }
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let record t ~time ~tag detail =
+  t.rev_entries <- { time; tag; detail } :: t.rev_entries;
+  t.count <- t.count + 1
+
+let recordf t ~time ~tag fmt =
+  Format.kasprintf (fun detail -> record t ~time ~tag detail) fmt
+
+let entries t = List.rev t.rev_entries
+
+let filter t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let length t = t.count
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0
+
+let pp_entry fmt e =
+  Format.fprintf fmt "t=%-12s %-14s %s" (Timebase.to_string e.time) e.tag e.detail
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

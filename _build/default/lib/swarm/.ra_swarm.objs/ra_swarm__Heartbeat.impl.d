@@ -1,0 +1,1 @@
+lib/swarm/heartbeat.ml: Array Buffer Engine Float Int List Printf Prng Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/swarm/heartbeat.mli: Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/swarm/swarm.ml: Array Bytes Cost_model Engine List Printf Prng Ra_crypto Ra_device Ra_sim Timebase

@@ -1,0 +1,1 @@
+lib/swarm/swarm.mli: Ra_device Ra_sim Timebase

@@ -1,0 +1,120 @@
+open Ra_sim
+
+type config = {
+  seed : int;
+  nodes : int;
+  period : Timebase.t;
+  threshold : Timebase.t;
+  loss : float;
+  horizon : Timebase.t;
+}
+
+let default_config =
+  {
+    seed = 1;
+    nodes = 16;
+    period = Timebase.s 1;
+    threshold = Timebase.ms 2500;
+    loss = 0.;
+    horizon = Timebase.s 60;
+  }
+
+type capture = { node : int; from_ : Timebase.t; until_ : Timebase.t }
+
+type result = {
+  alarmed : int list;
+  true_alarms : int;
+  false_alarms : int;
+  missed : int;
+  heartbeats : int;
+}
+
+let run config ~captures =
+  if config.nodes < 1 then invalid_arg "Heartbeat.run: empty swarm";
+  List.iter
+    (fun c ->
+      if c.node < 0 || c.node >= config.nodes then
+        invalid_arg "Heartbeat.run: capture of unknown node";
+      if c.until_ < c.from_ then invalid_arg "Heartbeat.run: bad capture window")
+    captures;
+  let eng = Engine.create ~seed:config.seed () in
+  let rng = Prng.split (Engine.prng eng) in
+  let last_seen = Array.make config.nodes Timebase.zero in
+  let max_gap = Array.make config.nodes Timebase.zero in
+  let delivered = ref 0 in
+  let silenced node time =
+    List.exists (fun c -> c.node = node && time >= c.from_ && time <= c.until_) captures
+  in
+  (* Each node beats with a fixed per-node phase so arrivals interleave. *)
+  let rec beat node at =
+    if at <= config.horizon then
+      ignore
+        (Engine.schedule eng ~at (fun _ ->
+             if (not (silenced node at)) && not (Prng.bernoulli rng ~p:config.loss)
+             then begin
+               incr delivered;
+               let gap = Timebase.sub at last_seen.(node) in
+               if gap > max_gap.(node) then max_gap.(node) <- gap;
+               last_seen.(node) <- at
+             end;
+             beat node (Timebase.add at config.period)))
+  in
+  for node = 0 to config.nodes - 1 do
+    let phase = Prng.int rng ~bound:(max 1 config.period) in
+    last_seen.(node) <- 0;
+    beat node phase
+  done;
+  Engine.run eng;
+  (* close the window: silence up to the horizon also counts *)
+  for node = 0 to config.nodes - 1 do
+    let tail_gap = Timebase.sub config.horizon last_seen.(node) in
+    if tail_gap > max_gap.(node) then max_gap.(node) <- tail_gap
+  done;
+  let alarmed = ref [] in
+  for node = config.nodes - 1 downto 0 do
+    if max_gap.(node) > config.threshold then alarmed := node :: !alarmed
+  done;
+  let captured node = List.exists (fun c -> c.node = node) captures in
+  let true_alarms = List.length (List.filter captured !alarmed) in
+  let false_alarms = List.length !alarmed - true_alarms in
+  let missed =
+    List.length
+      (List.filter
+         (fun c -> not (List.mem c.node !alarmed))
+         (List.sort_uniq (fun a b -> Int.compare a.node b.node) captures))
+  in
+  {
+    alarmed = !alarmed;
+    true_alarms;
+    false_alarms;
+    missed;
+    heartbeats = !delivered;
+  }
+
+let threshold_sweep config ~capture_length ~factors =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Heartbeat threshold sweep (period %s, loss %.0f%%, capture %s)\n"
+       (Timebase.to_string config.period)
+       (config.loss *. 100.)
+       (Timebase.to_string capture_length));
+  Buffer.add_string buf "threshold   captured node flagged  false alarms\n";
+  Buffer.add_string buf "---------   ---------------------  ------------\n";
+  List.iter
+    (fun factor ->
+      let threshold =
+        int_of_float (Float.round (float_of_int config.period *. factor))
+      in
+      let cfg = { config with threshold } in
+      let capture =
+        { node = 3; from_ = Timebase.s 20; until_ = Timebase.add (Timebase.s 20) capture_length }
+      in
+      let r = run cfg ~captures:[ capture ] in
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s %-22s %d\n"
+           (Printf.sprintf "%.1fx" factor)
+           (if List.mem 3 r.alarmed then "yes" else "NO")
+           r.false_alarms))
+    factors;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Collective (swarm) attestation — the Section 2.1 extension.
+
+    A SEDA/LISA-style protocol over a spanning tree of simple devices: the
+    verifier challenges the root; the challenge floods down; every node
+    measures its own firmware (a real keyed digest over real bytes) and
+    reports up; interior nodes verify children's MACs and aggregate counts.
+    Links lose messages independently; a lost subtree shows up as
+    unresponsive rather than healthy — the property swarm RA needs. *)
+
+open Ra_sim
+
+type config = {
+  seed : int;
+  nodes : int;
+  fanout : int;  (** children per interior node *)
+  node_bytes : int;  (** firmware size measured per node (real bytes) *)
+  modeled_node_bytes : int;  (** bytes charged to the cost model *)
+  link_delay : Timebase.t;
+  loss : float;  (** independent per-message loss probability *)
+  cost : Ra_device.Cost_model.t;
+}
+
+val default_config : config
+(** 31 nodes, fanout 2, 4 KiB real / 1 MiB modeled, 5 ms links, no loss. *)
+
+type result = {
+  healthy : int;  (** nodes whose self-report verified clean *)
+  tampered : int;
+  unresponsive : int;  (** nodes whose report never reached the verifier *)
+  duration : Timebase.t;  (** challenge to final aggregate *)
+  messages : int;  (** total link transmissions *)
+}
+
+val run : config -> infected:int list -> result
+(** Runs one collective attestation round. [infected] node ids get a
+    corrupted firmware image. Node 0 is the root. Deterministic in
+    [config.seed]. *)
+
+val depth : config -> int
+(** Tree depth, for latency reasoning in tests and docs. *)

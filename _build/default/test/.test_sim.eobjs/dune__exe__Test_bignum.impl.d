@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bytes List Nat QCheck QCheck_alcotest Ra_bignum Ra_sim

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Algo Blake2b Blake2s Bytes Bytesutil Char Cmac Digest_intf Gen Hkdf Hmac Int64 List Mac_stream Printf QCheck QCheck_alcotest Ra_crypto Sha256 Sha512 String

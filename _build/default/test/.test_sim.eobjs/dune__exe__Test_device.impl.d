@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest App Array Bytes Char Cost_model Cpu Device Engine Float Gen Int List Memory Prng QCheck QCheck_alcotest Ra_crypto Ra_device Ra_sim Stats Taskset Timebase

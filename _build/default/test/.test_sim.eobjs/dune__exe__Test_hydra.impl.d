@@ -1,0 +1,1 @@
+test/test_hydra.ml: Alcotest App Bytes Capability Cpu Device Engine Hydra List Memory Ra_core Ra_device Ra_hydra Ra_sim Timebase

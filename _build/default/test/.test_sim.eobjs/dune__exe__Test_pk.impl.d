@@ -1,0 +1,1 @@
+test/test_pk.ml: Alcotest Bytes Char Ec Ecdsa Format List Nat QCheck QCheck_alcotest Ra_bignum Ra_crypto Ra_pk Ra_sim Rsa

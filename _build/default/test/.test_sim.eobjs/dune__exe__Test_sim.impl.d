@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bytes Channel Engine Hashtbl Heap Int Int64 List Prng QCheck QCheck_alcotest Ra_sim Stats Timebase Trace

@@ -1,0 +1,1 @@
+test/test_swarm.ml: Alcotest Heartbeat List Printf Ra_sim Ra_swarm Swarm

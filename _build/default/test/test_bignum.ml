@@ -1,0 +1,273 @@
+(* Tests for the arbitrary-precision naturals: known values cross-checked
+   against an independent implementation, plus algebraic properties. *)
+
+open Ra_bignum
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let dec = Nat.of_decimal
+
+(* --- conversions ----------------------------------------------------------- *)
+
+let test_of_int () =
+  check nat "zero" Nat.zero (Nat.of_int 0);
+  check nat "one" Nat.one (Nat.of_int 1);
+  check Alcotest.(option int) "roundtrip small" (Some 123456789)
+    (Nat.to_int (Nat.of_int 123456789));
+  check Alcotest.(option int) "roundtrip max_int" (Some max_int)
+    (Nat.to_int (Nat.of_int max_int));
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+    (fun () -> ignore (Nat.of_int (-1)))
+
+let test_to_int_overflow () =
+  let big = Nat.shift_left Nat.one 80 in
+  check Alcotest.(option int) "too big" None (Nat.to_int big)
+
+let test_decimal_roundtrip () =
+  let cases = [ "0"; "1"; "42"; "123456789012345678901234567890123456789" ] in
+  List.iter (fun s -> check Alcotest.string s s (Nat.to_decimal (dec s))) cases;
+  check nat "underscores" (dec "1000000") (dec "1_000_000");
+  Alcotest.check_raises "bad digit"
+    (Invalid_argument "Nat.of_decimal: invalid character") (fun () ->
+      ignore (dec "12x"))
+
+let test_hex_roundtrip () =
+  check Alcotest.string "hex" "deadbeef" (Nat.to_hex (Nat.of_hex "deadbeef"));
+  check nat "0x prefix" (Nat.of_hex "ff") (Nat.of_hex "0xff");
+  check nat "odd length" (Nat.of_hex "f") (Nat.of_int 15)
+
+let test_bytes_roundtrip () =
+  let v = dec "340282366920938463463374607431768211455" in
+  (* 2^128 - 1 *)
+  let b = Nat.to_bytes_be v in
+  check Alcotest.int "16 bytes" 16 (Bytes.length b);
+  check nat "roundtrip" v (Nat.of_bytes_be b);
+  let padded = Nat.to_bytes_be ~size:20 v in
+  check Alcotest.int "padded" 20 (Bytes.length padded);
+  check nat "padded same value" v (Nat.of_bytes_be padded);
+  Alcotest.check_raises "size too small"
+    (Invalid_argument "Nat.to_bytes_be: size too small") (fun () ->
+      ignore (Nat.to_bytes_be ~size:15 v))
+
+(* --- known values (cross-checked against Python) ------------------------------ *)
+
+let a_dec = "123456789012345678901234567890123456789"
+let b_dec = "987654321098765432109876543210"
+
+let test_known_arithmetic () =
+  let a = dec a_dec and b = dec b_dec in
+  check Alcotest.string "mul"
+    "121932631137021795226185032733744855963362292333223746380111126352690"
+    (Nat.to_decimal (Nat.mul a b));
+  check Alcotest.string "add" "123456789999999999999999999999999999999"
+    (Nat.to_decimal (Nat.add a b));
+  check Alcotest.string "sub" "123456788024691357802469135780246913579"
+    (Nat.to_decimal (Nat.sub a b));
+  let q, r = Nat.divmod a b in
+  check Alcotest.string "quotient" "124999998" (Nat.to_decimal q);
+  check Alcotest.string "remainder" "850308642085030864208626543209" (Nat.to_decimal r)
+
+let test_known_modpow () =
+  let m = Nat.of_hex "fffffffffffffffffffffffffffffffeffffffffffffffffffffffff" in
+  check Alcotest.string "modpow"
+    "3027a7008f9ec023e3f90645c95a99b5cd1d245ba67c88acebe3737b"
+    (Nat.to_hex (Nat.mod_pow ~base:(dec "3") ~exponent:(dec "65537") ~modulus:m))
+
+let test_known_inverse_gcd () =
+  (match Nat.mod_inverse (dec "3") ~modulus:(dec "65537") with
+  | Some inv -> check Alcotest.string "inverse" "21846" (Nat.to_decimal inv)
+  | None -> Alcotest.fail "expected inverse");
+  check Alcotest.string "gcd" "21" (Nat.to_decimal (Nat.gcd (dec "462") (dec "1071")));
+  check Alcotest.bool "non-coprime has no inverse" true
+    (Nat.mod_inverse (dec "6") ~modulus:(dec "9") = None)
+
+let test_bit_operations () =
+  check Alcotest.int "bit_length 0" 0 (Nat.bit_length Nat.zero);
+  check Alcotest.int "bit_length 1" 1 (Nat.bit_length Nat.one);
+  check Alcotest.int "bit_length 2^79" 80 (Nat.bit_length (Nat.of_hex "80000000000000000000"));
+  check Alcotest.bool "test_bit" true (Nat.test_bit (Nat.of_int 5) 2);
+  check Alcotest.bool "test_bit clear" false (Nat.test_bit (Nat.of_int 5) 1);
+  check Alcotest.bool "test_bit beyond" false (Nat.test_bit (Nat.of_int 5) 100);
+  check Alcotest.bool "even" true (Nat.is_even (Nat.of_int 4));
+  check Alcotest.bool "odd" false (Nat.is_even (Nat.of_int 5));
+  check Alcotest.bool "zero even" true (Nat.is_even Nat.zero)
+
+let test_division_edges () =
+  Alcotest.check_raises "divide by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero));
+  let q, r = Nat.divmod (Nat.of_int 5) (Nat.of_int 7) in
+  check nat "small / big quotient" Nat.zero q;
+  check nat "small / big remainder" (Nat.of_int 5) r;
+  let q, r = Nat.divmod (dec a_dec) (dec a_dec) in
+  check nat "self / self" Nat.one q;
+  check nat "self mod self" Nat.zero r;
+  Alcotest.check_raises "negative sub" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (Nat.sub Nat.one Nat.two))
+
+(* --- properties ------------------------------------------------------------------ *)
+
+let gen_nat =
+  (* random naturals up to ~416 bits, with a bias to interesting shapes *)
+  QCheck.make
+    ~print:(fun n -> Nat.to_hex n)
+    QCheck.Gen.(
+      let* n_bytes = 0 -- 52 in
+      let* s = string_size ~gen:char (return n_bytes) in
+      return (Nat.of_bytes_be (Bytes.of_string s)))
+
+let gen_nat_pos =
+  QCheck.make
+    ~print:(fun n -> Nat.to_hex n)
+    QCheck.Gen.(
+      let* n_bytes = 1 -- 52 in
+      let* s = string_size ~gen:char (return n_bytes) in
+      let v = Nat.of_bytes_be (Bytes.of_string s) in
+      return (if Nat.is_zero v then Nat.one else v))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative" ~count:300 (QCheck.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:300 (QCheck.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.sub (Nat.add a b) b) a)
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"a(b+c) = ab+ac" ~count:200
+    (QCheck.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = q*b + r, r < b" ~count:300
+    (QCheck.pair gen_nat gen_nat_pos) (fun (a, b) ->
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let prop_shift_is_mul_pow2 =
+  QCheck.Test.make ~name:"shift_left = mul 2^k" ~count:200
+    (QCheck.pair gen_nat (QCheck.int_range 0 100)) (fun (a, k) ->
+      let pow2 = Nat.shift_left Nat.one k in
+      Nat.equal (Nat.shift_left a k) (Nat.mul a pow2))
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shift_right (shift_left a k) k = a" ~count:200
+    (QCheck.pair gen_nat (QCheck.int_range 0 100)) (fun (a, k) ->
+      Nat.equal (Nat.shift_right (Nat.shift_left a k) k) a)
+
+let naive_mod_pow ~base ~exponent ~modulus =
+  let rec go acc e =
+    if Nat.is_zero e then acc
+    else go (Nat.mod_mul acc base ~modulus) (Nat.sub e Nat.one)
+  in
+  go (Nat.rem Nat.one modulus) exponent
+
+let prop_modpow_matches_naive =
+  QCheck.Test.make ~name:"mod_pow = naive for small exponents" ~count:60
+    (QCheck.triple gen_nat (QCheck.int_range 0 40) gen_nat_pos)
+    (fun (base, e, modulus) ->
+      Nat.equal
+        (Nat.mod_pow ~base ~exponent:(Nat.of_int e) ~modulus)
+        (naive_mod_pow ~base ~exponent:(Nat.of_int e) ~modulus))
+
+let prop_mod_pow_fast_equivalent =
+  QCheck.Test.make ~name:"mod_pow_fast = mod_pow" ~count:60
+    (QCheck.triple gen_nat gen_nat gen_nat_pos) (fun (base, exponent, modulus) ->
+      Nat.equal
+        (Nat.mod_pow_fast ~base ~exponent ~modulus)
+        (Nat.mod_pow ~base ~exponent ~modulus))
+
+let prop_mod_pow_fast_odd_moduli =
+  (* force the Montgomery path: odd multi-limb moduli *)
+  QCheck.Test.make ~name:"montgomery path matches" ~count:60
+    (QCheck.triple gen_nat gen_nat gen_nat_pos) (fun (base, exponent, m) ->
+      let modulus =
+        let m = Nat.add (Nat.shift_left m 27) Nat.one in
+        if Nat.is_even m then Nat.add m Nat.one else m
+      in
+      Nat.equal
+        (Nat.mod_pow_fast ~base ~exponent ~modulus)
+        (Nat.mod_pow ~base ~exponent ~modulus))
+
+let prop_mod_inverse =
+  QCheck.Test.make ~name:"a * a^-1 = 1 (mod m)" ~count:200
+    (QCheck.pair gen_nat_pos gen_nat_pos) (fun (a, m) ->
+      let m = Nat.add m Nat.two in
+      match Nat.mod_inverse a ~modulus:m with
+      | None -> not (Nat.equal (Nat.gcd (Nat.rem a m) m) Nat.one) || Nat.is_zero (Nat.rem a m)
+      | Some inv -> Nat.equal (Nat.mod_mul (Nat.rem a m) inv ~modulus:m) Nat.one)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:300 gen_nat (fun a ->
+      Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)))
+
+let prop_compare_consistent =
+  QCheck.Test.make ~name:"compare consistent with sub" ~count:300
+    (QCheck.pair gen_nat gen_nat) (fun (a, b) ->
+      match Nat.compare a b with
+      | 0 -> Nat.equal a b
+      | c when c > 0 -> Nat.equal (Nat.add (Nat.sub a b) b) a
+      | _ -> Nat.equal (Nat.add (Nat.sub b a) a) b)
+
+let prop_mod_ops_against_int =
+  (* exhaustive-ish small-int cross-check of the modular ops *)
+  QCheck.Test.make ~name:"mod ops match int arithmetic" ~count:500
+    QCheck.(triple (int_range 0 10000) (int_range 0 10000) (int_range 2 997))
+    (fun (a, b, m) ->
+      let na = Nat.of_int (a mod m) and nb = Nat.of_int (b mod m) in
+      let nm = Nat.of_int m in
+      Nat.to_int (Nat.mod_add na nb ~modulus:nm) = Some ((a mod m + b mod m) mod m)
+      && Nat.to_int (Nat.mod_mul na nb ~modulus:nm) = Some (a mod m * (b mod m) mod m)
+      && Nat.to_int (Nat.mod_sub na nb ~modulus:nm)
+         = Some (((a mod m) - (b mod m) + m) mod m))
+
+let test_random_below () =
+  let rng = Ra_sim.Prng.create ~seed:11 in
+  let bound = dec "1000000000000000000000000000" in
+  for _ = 1 to 200 do
+    let v = Nat.random_below rng ~bound in
+    if Nat.compare v bound >= 0 then Alcotest.fail "random_below out of range"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Nat.random_below: zero bound") (fun () ->
+      ignore (Nat.random_below rng ~bound:Nat.zero))
+
+let () =
+  Alcotest.run "ra_bignum"
+    [
+      ( "conversions",
+        [
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "decimal" `Quick test_decimal_roundtrip;
+          Alcotest.test_case "hex" `Quick test_hex_roundtrip;
+          Alcotest.test_case "bytes" `Quick test_bytes_roundtrip;
+        ] );
+      ( "known values",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_known_arithmetic;
+          Alcotest.test_case "modpow" `Quick test_known_modpow;
+          Alcotest.test_case "inverse & gcd" `Quick test_known_inverse_gcd;
+          Alcotest.test_case "bits" `Quick test_bit_operations;
+          Alcotest.test_case "division edges" `Quick test_division_edges;
+          Alcotest.test_case "random_below" `Quick test_random_below;
+        ] );
+      ( "properties",
+        [
+          qtest prop_add_commutative;
+          qtest prop_add_sub_roundtrip;
+          qtest prop_mul_distributes;
+          qtest prop_divmod_invariant;
+          qtest prop_shift_is_mul_pow2;
+          qtest prop_shift_roundtrip;
+          qtest prop_modpow_matches_naive;
+          qtest prop_mod_pow_fast_equivalent;
+          qtest prop_mod_pow_fast_odd_moduli;
+          qtest prop_mod_inverse;
+          qtest prop_bytes_roundtrip;
+          qtest prop_compare_consistent;
+          qtest prop_mod_ops_against_int;
+        ] );
+    ]

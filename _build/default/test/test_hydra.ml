@@ -1,0 +1,177 @@
+(* Tests for the HYDRA capability model: key isolation, per-process write
+   confinement, and atomicity-by-priority with its availability cost. *)
+
+open Ra_sim
+open Ra_device
+open Ra_hydra
+
+let check = Alcotest.check
+
+let make_system () =
+  let device =
+    Device.create
+      {
+        Device.default_config with
+        Device.blocks = 16;
+        block_size = 256;
+        modeled_block_bytes = 16 * 1024 * 1024; (* 256 MiB total: MP ~ 2.4 s *)
+      }
+  in
+  let apps =
+    [
+      { Hydra.pid = "sensor"; first_block = 0; block_span = 8; priority = 10 };
+      { Hydra.pid = "logger"; first_block = 8; block_span = 8; priority = 4 };
+    ]
+  in
+  (device, Hydra.build device ~apps)
+
+(* --- Capability table --------------------------------------------------------- *)
+
+let test_capability_table () =
+  let caps = Capability.create () in
+  Capability.grant caps "p1"
+    { Capability.first_block = 0; block_span = 4; rights = [ Capability.Read ] };
+  Capability.grant caps "p1"
+    { Capability.first_block = 4; block_span = 2; rights = [ Capability.Write ] };
+  check Alcotest.bool "read in region" true
+    (Capability.allows caps "p1" Capability.Read ~block:3);
+  check Alcotest.bool "write needs the right" false
+    (Capability.allows caps "p1" Capability.Write ~block:3);
+  check Alcotest.bool "second grant applies" true
+    (Capability.allows caps "p1" Capability.Write ~block:5);
+  check Alcotest.bool "outside all regions" false
+    (Capability.allows caps "p1" Capability.Read ~block:9);
+  check Alcotest.bool "unknown pid" false
+    (Capability.allows caps "ghost" Capability.Read ~block:0);
+  check Alcotest.int "two capabilities recorded" 2
+    (List.length (Capability.regions_of caps "p1"));
+  check (Alcotest.list Alcotest.string) "pids" [ "p1" ] (Capability.pids caps);
+  Capability.revoke_all caps "p1";
+  check Alcotest.bool "revoked" false
+    (Capability.allows caps "p1" Capability.Read ~block:0);
+  Alcotest.check_raises "bad region" (Invalid_argument "Capability.grant: bad region")
+    (fun () ->
+      Capability.grant caps "p2"
+        { Capability.first_block = 0; block_span = 0; rights = [] })
+
+(* --- Key isolation -------------------------------------------------------------- *)
+
+let test_key_isolation () =
+  let device, hydra = make_system () in
+  (match Hydra.read_key hydra Hydra.mp_pid with
+  | Ok key -> check Alcotest.bytes "mp reads the real key" device.Device.config.Device.key key
+  | Error e -> Alcotest.failf "mp denied: %s" e);
+  (match Hydra.read_key hydra "sensor" with
+  | Ok _ -> Alcotest.fail "application read the attestation key"
+  | Error _ -> ());
+  (match Hydra.read_key hydra "logger" with
+  | Ok _ -> Alcotest.fail "application read the attestation key"
+  | Error _ -> ());
+  check Alcotest.int "denials audited" 2 (List.length (Hydra.denials hydra))
+
+(* --- Write confinement ------------------------------------------------------------ *)
+
+let test_write_confinement () =
+  let device, hydra = make_system () in
+  (match Hydra.guarded_write hydra "sensor" ~block:2 ~offset:0 (Bytes.of_string "own") with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "own-region write denied: %s" e);
+  check Alcotest.string "write landed" "own"
+    (Bytes.sub_string (Memory.read_block device.Device.memory 2) 0 3);
+  (* cross-region write: the single-process-confinement property *)
+  (match Hydra.guarded_write hydra "sensor" ~block:9 ~offset:0 (Bytes.of_string "x") with
+  | Ok () -> Alcotest.fail "cross-region write allowed"
+  | Error _ -> ());
+  (* the attestation process cannot write at all *)
+  (match Hydra.guarded_write hydra Hydra.mp_pid ~block:0 ~offset:0 (Bytes.of_string "x") with
+  | Ok () -> Alcotest.fail "mp wrote to memory"
+  | Error _ -> ());
+  (* reads: apps see only their own region, mp sees everything *)
+  (match Hydra.guarded_read hydra "logger" ~block:1 with
+  | Ok _ -> Alcotest.fail "cross-region read allowed"
+  | Error _ -> ());
+  (match Hydra.guarded_read hydra Hydra.mp_pid ~block:1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "mp read denied: %s" e)
+
+(* A compromised process trying to relocate malware into its neighbour's
+   region is stopped by the capability check — HYDRA's process isolation. *)
+let test_malware_confined_by_capabilities () =
+  let device, hydra = make_system () in
+  let payload = Bytes.make 256 '!' in
+  (match Hydra.guarded_write hydra "sensor" ~block:0 ~offset:0 payload with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "infection of own region failed: %s" e);
+  (match Hydra.guarded_write hydra "sensor" ~block:12 ~offset:0 payload with
+  | Ok () -> Alcotest.fail "malware escaped its process region"
+  | Error _ -> ());
+  (* the infection in its own region is still caught by attestation *)
+  let verifier = Ra_core.Verifier.of_device device in
+  let report = ref None in
+  Hydra.attest hydra ~nonce:(Bytes.of_string "n") ~on_complete:(fun r -> report := Some r) ();
+  Engine.run device.Device.engine;
+  match !report with
+  | None -> Alcotest.fail "no report"
+  | Some r ->
+    check Alcotest.bool "infection detected" true
+      (Ra_core.Verifier.verify verifier r = Ra_core.Verifier.Tampered)
+
+(* --- Atomicity by priority ----------------------------------------------------------- *)
+
+let test_priority_atomicity () =
+  (* the MP outranks every app, so a fire during the measurement waits just
+     as it would under SMART — HYDRA inherits the availability problem *)
+  let device, hydra = make_system () in
+  check Alcotest.int "mp priority above apps" 11 (Hydra.mp_priority hydra);
+  let app = Hydra.app_activity hydra "sensor" ~period:(Timebase.s 1) ~execution:(Timebase.ms 2) in
+  let report = ref None in
+  ignore
+    (Engine.schedule device.Device.engine ~at:(Timebase.ms 1500) (fun _ ->
+         App.declare_fire app ~at:(Timebase.ms 2500);
+         Hydra.attest hydra ~nonce:(Bytes.of_string "n")
+           ~on_complete:(fun r -> report := Some r)
+           ()));
+  Engine.run ~until:(Timebase.s 10) device.Device.engine;
+  App.stop app;
+  Engine.run ~until:(Timebase.s 15) device.Device.engine;
+  let r = match !report with Some r -> r | None -> Alcotest.fail "no report" in
+  let mp_duration = Timebase.sub r.Ra_core.Report.t_end r.Ra_core.Report.t_start in
+  check Alcotest.bool "measurement ~2.4 s" true (mp_duration > Timebase.s 2);
+  match App.alarm_latency app with
+  | None -> Alcotest.fail "alarm never sounded"
+  | Some latency ->
+    check Alcotest.bool "alarm waited for the measurement" true
+      (latency > Timebase.s 1)
+
+let test_priority_atomicity_is_not_hardware () =
+  (* unlike SMART, a *higher*-priority job (e.g. an NMI-style task the
+     integrator forgot about) still preempts: the guarantee is only as
+     strong as the priority assignment *)
+  let device, hydra = make_system () in
+  let report = ref None in
+  Hydra.attest hydra ~nonce:(Bytes.of_string "n") ~on_complete:(fun r -> report := Some r) ();
+  let intruder_ran_mid_measurement = ref false in
+  ignore
+    (Engine.schedule device.Device.engine ~at:(Timebase.ms 500) (fun _ ->
+         ignore
+           (Cpu.submit device.Device.cpu ~name:"nmi" ~priority:99
+              ~duration:(Timebase.ms 1)
+              ~on_complete:(fun () -> intruder_ran_mid_measurement := !report = None)
+              ())));
+  Engine.run device.Device.engine;
+  check Alcotest.bool "higher priority still preempts" true !intruder_ran_mid_measurement
+
+let () =
+  Alcotest.run "ra_hydra"
+    [
+      ("capabilities", [ Alcotest.test_case "table" `Quick test_capability_table ]);
+      ( "hydra",
+        [
+          Alcotest.test_case "key isolation" `Quick test_key_isolation;
+          Alcotest.test_case "write confinement" `Quick test_write_confinement;
+          Alcotest.test_case "malware confined" `Quick test_malware_confined_by_capabilities;
+          Alcotest.test_case "atomicity by priority" `Quick test_priority_atomicity;
+          Alcotest.test_case "priority is not hardware" `Quick
+            test_priority_atomicity_is_not_hardware;
+        ] );
+    ]

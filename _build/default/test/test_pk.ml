@@ -1,0 +1,285 @@
+(* Tests for elliptic-curve arithmetic, ECDSA and RSA. Point vectors were
+   cross-checked against an independent implementation. *)
+
+open Ra_bignum
+open Ra_pk
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let point = Alcotest.testable
+    (fun fmt -> function
+      | Ec.Infinity -> Format.fprintf fmt "inf"
+      | Ec.Affine (x, y) -> Format.fprintf fmt "(%a, %a)" Nat.pp x Nat.pp y)
+    (fun a b ->
+      match (a, b) with
+      | Ec.Infinity, Ec.Infinity -> true
+      | Ec.Affine (x1, y1), Ec.Affine (x2, y2) -> Nat.equal x1 x2 && Nat.equal y1 y2
+      | Ec.Infinity, Ec.Affine _ | Ec.Affine _, Ec.Infinity -> false)
+
+let p256 = Ec.secp256r1
+let g = Ec.generator p256
+
+(* --- curve arithmetic --------------------------------------------------------- *)
+
+let test_generators_on_curve () =
+  List.iter
+    (fun curve ->
+      check Alcotest.bool (curve.Ec.name ^ " generator on curve") true
+        (Ec.is_on_curve curve (Ec.generator curve)))
+    Ec.all_curves
+
+let test_known_multiples () =
+  let two_g = Ec.scalar_mul p256 Nat.two g in
+  check point "2G"
+    (Ec.Affine
+       ( Nat.of_hex "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978",
+         Nat.of_hex "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1" ))
+    two_g;
+  let three_g = Ec.scalar_mul p256 (Nat.of_int 3) g in
+  check point "3G"
+    (Ec.Affine
+       ( Nat.of_hex "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c",
+         Nat.of_hex "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032" ))
+    three_g;
+  let big =
+    Nat.of_decimal
+      "57896044605178124381348723474703786764998477612067880171211129530534256022184"
+  in
+  check point "large scalar"
+    (Ec.Affine
+       ( Nat.of_hex "2afa386b3f2bdcdb83f4d83f8fa3874d7b74dcb454bd644fdd6bf3d1f2da8db6",
+         Nat.of_hex "72184be1caa8563462b536f10852d665ae8a64fdf1eb8d4c946ad589796f729c" ))
+    (Ec.scalar_mul p256 big g)
+
+let test_group_identities () =
+  check point "0 * G = inf" Ec.Infinity (Ec.scalar_mul p256 Nat.zero g);
+  check point "n * G = inf" Ec.Infinity (Ec.scalar_mul p256 p256.Ec.n g);
+  check point "G + inf = G" g (Ec.add p256 g Ec.Infinity);
+  check point "inf + G = G" g (Ec.add p256 Ec.Infinity g);
+  check point "G + (-G) = inf" Ec.Infinity (Ec.add p256 g (Ec.negate p256 g));
+  check point "2G = G + G" (Ec.scalar_mul p256 Nat.two g) (Ec.double p256 g)
+
+let prop_scalar_distributes =
+  QCheck.Test.make ~name:"(a+b)G = aG + bG" ~count:25
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let lhs = Ec.scalar_mul p256 (Nat.of_int (a + b)) g in
+      let rhs =
+        Ec.add p256 (Ec.scalar_mul p256 (Nat.of_int a) g)
+          (Ec.scalar_mul p256 (Nat.of_int b) g)
+      in
+      lhs = rhs)
+
+let prop_multiples_on_curve =
+  QCheck.Test.make ~name:"kG stays on curve" ~count:25
+    QCheck.(int_range 1 1_000_000_000)
+    (fun k -> Ec.is_on_curve p256 (Ec.scalar_mul p256 (Nat.of_int k) g))
+
+let test_all_curves_scalar_mul () =
+  List.iter
+    (fun curve ->
+      let p = Ec.scalar_mul curve (Nat.of_int 12345) (Ec.generator curve) in
+      check Alcotest.bool (curve.Ec.name ^ " 12345G on curve") true
+        (Ec.is_on_curve curve p);
+      check Alcotest.bool (curve.Ec.name ^ " not infinity") true (p <> Ec.Infinity))
+    Ec.all_curves
+
+let test_curve_of_name () =
+  check Alcotest.bool "known" true (Ec.curve_of_name "secp256r1" <> None);
+  check Alcotest.bool "unknown" true (Ec.curve_of_name "brainpool" = None)
+
+(* --- ECDSA ----------------------------------------------------------------------- *)
+
+let test_ecdsa_roundtrip () =
+  let rng = Ra_sim.Prng.create ~seed:42 in
+  let msg = Bytes.of_string "attestation report body" in
+  List.iter
+    (fun curve ->
+      let kp = Ecdsa.generate curve rng in
+      let signature = Ecdsa.sign ~hash:Ra_crypto.Algo.SHA_256 kp rng msg in
+      check Alcotest.bool (curve.Ec.name ^ " verifies") true
+        (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve ~public:kp.Ecdsa.q msg
+           signature);
+      check Alcotest.bool (curve.Ec.name ^ " rejects altered message") false
+        (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve ~public:kp.Ecdsa.q
+           (Bytes.of_string "tampered") signature))
+    Ec.all_curves
+
+let test_ecdsa_wrong_key () =
+  let rng = Ra_sim.Prng.create ~seed:43 in
+  let msg = Bytes.of_string "m" in
+  let kp = Ecdsa.generate p256 rng in
+  let other = Ecdsa.generate p256 rng in
+  let signature = Ecdsa.sign ~hash:Ra_crypto.Algo.SHA_256 kp rng msg in
+  check Alcotest.bool "other key rejects" false
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve:p256 ~public:other.Ecdsa.q msg
+       signature)
+
+let test_ecdsa_signature_malleability_guard () =
+  let rng = Ra_sim.Prng.create ~seed:44 in
+  let msg = Bytes.of_string "m" in
+  let kp = Ecdsa.generate p256 rng in
+  let signature = Ecdsa.sign ~hash:Ra_crypto.Algo.SHA_256 kp rng msg in
+  let bad_r = { signature with Ecdsa.r = Nat.zero } in
+  let bad_s = { signature with Ecdsa.s = p256.Ec.n } in
+  check Alcotest.bool "r = 0 rejected" false
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve:p256 ~public:kp.Ecdsa.q msg bad_r);
+  check Alcotest.bool "s = n rejected" false
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve:p256 ~public:kp.Ecdsa.q msg bad_s)
+
+let test_ecdsa_deterministic_keypair () =
+  let kp = Ecdsa.keypair_of_scalar p256 (Nat.of_int 7) in
+  check point "public key is 7G" (Ec.scalar_mul p256 (Nat.of_int 7) g) kp.Ecdsa.q;
+  Alcotest.check_raises "zero scalar"
+    (Invalid_argument "Ecdsa.keypair_of_scalar: zero scalar") (fun () ->
+      ignore (Ecdsa.keypair_of_scalar p256 p256.Ec.n))
+
+let test_ecdsa_hash_choices () =
+  let rng = Ra_sim.Prng.create ~seed:45 in
+  let msg = Bytes.of_string "hash agility" in
+  let kp = Ecdsa.generate Ec.secp160r1 rng in
+  (* SHA-512 digest is wider than the 161-bit order: exercises truncation *)
+  let signature = Ecdsa.sign ~hash:Ra_crypto.Algo.SHA_512 kp rng msg in
+  check Alcotest.bool "sha512 over secp160r1" true
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_512 ~curve:Ec.secp160r1
+       ~public:kp.Ecdsa.q msg signature);
+  check Alcotest.bool "hash mismatch rejected" false
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve:Ec.secp160r1
+       ~public:kp.Ecdsa.q msg signature)
+
+(* --- RFC 6979 deterministic ECDSA -------------------------------------------------- *)
+
+let rfc6979_key =
+  Ecdsa.keypair_of_scalar p256
+    (Nat.of_hex "C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721")
+
+let test_rfc6979_vector () =
+  (* RFC 6979 appendix A.2.5, P-256 + SHA-256, message "sample" *)
+  let sg = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 rfc6979_key
+      (Bytes.of_string "sample") in
+  check Alcotest.string "r"
+    "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716"
+    (Nat.to_hex sg.Ecdsa.r);
+  check Alcotest.string "s"
+    "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"
+    (Nat.to_hex sg.Ecdsa.s);
+  (* second vector from the same appendix: message "test" *)
+  let sg = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 rfc6979_key
+      (Bytes.of_string "test") in
+  check Alcotest.string "r (test)"
+    "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367"
+    (Nat.to_hex sg.Ecdsa.r);
+  check Alcotest.string "s (test)"
+    "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083"
+    (Nat.to_hex sg.Ecdsa.s)
+
+let test_rfc6979_properties () =
+  let msg = Bytes.of_string "attestation report" in
+  let sg1 = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 rfc6979_key msg in
+  let sg2 = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 rfc6979_key msg in
+  check Alcotest.bool "same message, identical signature" true
+    (Nat.equal sg1.Ecdsa.r sg2.Ecdsa.r && Nat.equal sg1.Ecdsa.s sg2.Ecdsa.s);
+  let other = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 rfc6979_key
+      (Bytes.of_string "different message") in
+  check Alcotest.bool "different message, different nonce" false
+    (Nat.equal sg1.Ecdsa.r other.Ecdsa.r);
+  check Alcotest.bool "verifies normally" true
+    (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve:p256 ~public:rfc6979_key.Ecdsa.q
+       msg sg1);
+  (* works on every curve in the library *)
+  List.iter
+    (fun curve ->
+      let kp = Ecdsa.keypair_of_scalar curve (Nat.of_int 987654321) in
+      let sg = Ecdsa.sign_deterministic ~hash:Ra_crypto.Algo.SHA_256 kp msg in
+      check Alcotest.bool (curve.Ec.name ^ " deterministic verifies") true
+        (Ecdsa.verify ~hash:Ra_crypto.Algo.SHA_256 ~curve ~public:kp.Ecdsa.q msg sg))
+    Ec.all_curves
+
+(* --- RSA ------------------------------------------------------------------------- *)
+
+let test_rsa_roundtrip () =
+  let msg = Bytes.of_string "measurement digest payload" in
+  List.iter
+    (fun bits ->
+      let key = Rsa.test_key ~bits in
+      let signature = Rsa.sign ~hash:Rsa.SHA_256 key msg in
+      check Alcotest.int "signature size" (bits / 8) (Bytes.length signature);
+      check Alcotest.bool "verifies" true
+        (Rsa.verify ~hash:Rsa.SHA_256 key.Rsa.pub ~msg ~signature);
+      check Alcotest.bool "altered message rejected" false
+        (Rsa.verify ~hash:Rsa.SHA_256 key.Rsa.pub ~msg:(Bytes.of_string "x") ~signature);
+      let flipped = Bytes.copy signature in
+      Bytes.set flipped 3 (Char.chr (Char.code (Bytes.get flipped 3) lxor 1));
+      check Alcotest.bool "altered signature rejected" false
+        (Rsa.verify ~hash:Rsa.SHA_256 key.Rsa.pub ~msg ~signature:flipped))
+    [ 1024; 2048 ]
+
+let test_rsa_sha512 () =
+  let key = Rsa.test_key_1024 in
+  let msg = Bytes.of_string "sha-512 digestinfo" in
+  let signature = Rsa.sign ~hash:Rsa.SHA_512 key msg in
+  check Alcotest.bool "verifies" true
+    (Rsa.verify ~hash:Rsa.SHA_512 key.Rsa.pub ~msg ~signature);
+  check Alcotest.bool "hash mismatch rejected" false
+    (Rsa.verify ~hash:Rsa.SHA_256 key.Rsa.pub ~msg ~signature)
+
+let prop_rsa_raw_roundtrip =
+  QCheck.Test.make ~name:"m^d^e = m (textbook RSA)" ~count:10
+    QCheck.(int_range 2 1_000_000)
+    (fun m ->
+      let key = Rsa.test_key_1024 in
+      let m = Nat.of_int m in
+      Nat.equal m (Rsa.raw_public key.Rsa.pub (Rsa.raw_private key m)))
+
+let test_rsa_fixture_sanity () =
+  List.iter
+    (fun (key, bits) ->
+      (* a product of two b/2-bit primes has b or b-1 bits *)
+      let n_bits = Nat.bit_length key.Rsa.pub.Rsa.n in
+      check Alcotest.bool "modulus size" true (n_bits = bits || n_bits = bits - 1);
+      check Alcotest.(option int) "public exponent" (Some 65537)
+        (Nat.to_int key.Rsa.pub.Rsa.e))
+    [ (Rsa.test_key_1024, 1024); (Rsa.test_key_2048, 2048); (Rsa.test_key_4096, 4096) ];
+  Alcotest.check_raises "no fixture"
+    (Invalid_argument "Rsa.test_key: no fixture for this size") (fun () ->
+      ignore (Rsa.test_key ~bits:512))
+
+let test_rsa_wrong_length_signature () =
+  let key = Rsa.test_key_1024 in
+  check Alcotest.bool "short signature rejected" false
+    (Rsa.verify ~hash:Rsa.SHA_256 key.Rsa.pub ~msg:(Bytes.of_string "m")
+       ~signature:(Bytes.create 64))
+
+let () =
+  Alcotest.run "ra_pk"
+    [
+      ( "ec",
+        [
+          Alcotest.test_case "generators on curve" `Quick test_generators_on_curve;
+          Alcotest.test_case "known multiples" `Quick test_known_multiples;
+          Alcotest.test_case "group identities" `Quick test_group_identities;
+          Alcotest.test_case "all curves scalar mul" `Quick test_all_curves_scalar_mul;
+          Alcotest.test_case "curve_of_name" `Quick test_curve_of_name;
+          qtest prop_scalar_distributes;
+          qtest prop_multiples_on_curve;
+        ] );
+      ( "ecdsa",
+        [
+          Alcotest.test_case "roundtrip all curves" `Quick test_ecdsa_roundtrip;
+          Alcotest.test_case "wrong key" `Quick test_ecdsa_wrong_key;
+          Alcotest.test_case "range guards" `Quick test_ecdsa_signature_malleability_guard;
+          Alcotest.test_case "deterministic keypair" `Quick test_ecdsa_deterministic_keypair;
+          Alcotest.test_case "hash agility & truncation" `Quick test_ecdsa_hash_choices;
+          Alcotest.test_case "rfc6979 vectors" `Quick test_rfc6979_vector;
+          Alcotest.test_case "rfc6979 properties" `Quick test_rfc6979_properties;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip;
+          Alcotest.test_case "sha-512 digestinfo" `Quick test_rsa_sha512;
+          Alcotest.test_case "fixtures" `Quick test_rsa_fixture_sanity;
+          Alcotest.test_case "wrong-length signature" `Quick test_rsa_wrong_length_signature;
+          qtest prop_rsa_raw_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the collective-attestation extension. *)
+
+open Ra_swarm
+
+let check = Alcotest.check
+
+let config = Swarm.default_config
+
+let test_clean_swarm () =
+  let r = Swarm.run config ~infected:[] in
+  check Alcotest.int "all healthy" 31 r.Swarm.healthy;
+  check Alcotest.int "none tampered" 0 r.Swarm.tampered;
+  check Alcotest.int "none unresponsive" 0 r.Swarm.unresponsive;
+  check Alcotest.bool "messages flowed" true (r.Swarm.messages >= 62)
+
+let test_infected_nodes_counted () =
+  let infected = [ 0; 9; 30 ] in
+  let r = Swarm.run config ~infected in
+  check Alcotest.int "tampered count" 3 r.Swarm.tampered;
+  check Alcotest.int "healthy count" 28 r.Swarm.healthy
+
+let test_deterministic () =
+  let r1 = Swarm.run { config with Swarm.loss = 0.2 } ~infected:[ 5 ] in
+  let r2 = Swarm.run { config with Swarm.loss = 0.2 } ~infected:[ 5 ] in
+  check Alcotest.int "same healthy" r1.Swarm.healthy r2.Swarm.healthy;
+  check Alcotest.int "same unresponsive" r1.Swarm.unresponsive r2.Swarm.unresponsive;
+  check Alcotest.int "same messages" r1.Swarm.messages r2.Swarm.messages
+
+let test_loss_yields_unresponsive () =
+  let r = Swarm.run { config with Swarm.loss = 0.15; Swarm.seed = 3 } ~infected:[] in
+  check Alcotest.bool "lossy links leave gaps" true (r.Swarm.unresponsive > 0);
+  check Alcotest.int "accounting adds up" 31
+    (r.Swarm.healthy + r.Swarm.tampered + r.Swarm.unresponsive)
+
+let test_total_loss () =
+  let r = Swarm.run { config with Swarm.loss = 1.0 } ~infected:[] in
+  check Alcotest.int "everything unresponsive" 31 r.Swarm.unresponsive
+
+let test_accounting_invariant () =
+  (* over a range of seeds and loss rates, counts always partition the swarm *)
+  List.iter
+    (fun (seed, loss) ->
+      let r = Swarm.run { config with Swarm.seed; Swarm.loss } ~infected:[ 2; 17 ] in
+      check Alcotest.int
+        (Printf.sprintf "partition (seed %d, loss %.1f)" seed loss)
+        31
+        (r.Swarm.healthy + r.Swarm.tampered + r.Swarm.unresponsive))
+    [ (1, 0.); (2, 0.05); (3, 0.1); (4, 0.3); (5, 0.5) ]
+
+let test_depth_and_scaling () =
+  check Alcotest.int "31-node binary tree depth" 5 (Swarm.depth config);
+  check Alcotest.int "127-node depth" 7 (Swarm.depth { config with Swarm.nodes = 127 });
+  let small = Swarm.run config ~infected:[] in
+  let large = Swarm.run { config with Swarm.nodes = 127 } ~infected:[] in
+  check Alcotest.bool "deeper tree takes longer" true
+    (large.Swarm.duration > small.Swarm.duration);
+  check Alcotest.int "message count scales with nodes" (2 * 127) large.Swarm.messages
+
+let test_fanout_reduces_depth () =
+  let narrow = { config with Swarm.nodes = 341; Swarm.fanout = 2 } in
+  let wide = { config with Swarm.nodes = 341; Swarm.fanout = 8 } in
+  check Alcotest.bool "wider is shallower" true (Swarm.depth wide < Swarm.depth narrow);
+  let rn = Swarm.run narrow ~infected:[] and rw = Swarm.run wide ~infected:[] in
+  check Alcotest.bool "wider is faster" true (rw.Swarm.duration < rn.Swarm.duration)
+
+let test_validation () =
+  Alcotest.check_raises "empty swarm" (Invalid_argument "Swarm.run: empty swarm")
+    (fun () -> ignore (Swarm.run { config with Swarm.nodes = 0 } ~infected:[]))
+
+(* --- Heartbeat (DARPA-style absence detection) -------------------------------- *)
+
+let hb_config = Heartbeat.default_config
+
+let test_heartbeat_quiet_network () =
+  let r = Heartbeat.run hb_config ~captures:[] in
+  check (Alcotest.list Alcotest.int) "no alarms" [] r.Heartbeat.alarmed;
+  check Alcotest.bool "heartbeats flowed" true (r.Heartbeat.heartbeats > 16 * 50)
+
+let test_heartbeat_capture_detected () =
+  let capture =
+    { Heartbeat.node = 5; from_ = Ra_sim.Timebase.s 20; until_ = Ra_sim.Timebase.s 30 }
+  in
+  let r = Heartbeat.run hb_config ~captures:[ capture ] in
+  check (Alcotest.list Alcotest.int) "exactly the captured node" [ 5 ] r.Heartbeat.alarmed;
+  check Alcotest.int "true alarm" 1 r.Heartbeat.true_alarms;
+  check Alcotest.int "no false alarms" 0 r.Heartbeat.false_alarms;
+  check Alcotest.int "nothing missed" 0 r.Heartbeat.missed
+
+let test_heartbeat_short_capture_hides () =
+  (* an offline window below the threshold slips through *)
+  let capture =
+    { Heartbeat.node = 5;
+      from_ = Ra_sim.Timebase.s 20;
+      until_ = Ra_sim.Timebase.ms 20_900 }
+  in
+  let r = Heartbeat.run hb_config ~captures:[ capture ] in
+  check Alcotest.int "capture below threshold missed" 1 r.Heartbeat.missed
+
+let test_heartbeat_loss_vs_threshold () =
+  (* lossy links with a tight threshold raise false alarms; a looser
+     threshold silences them *)
+  let lossy = { hb_config with Heartbeat.loss = 0.25; seed = 11 } in
+  let tight = Heartbeat.run { lossy with Heartbeat.threshold = Ra_sim.Timebase.ms 1500 } ~captures:[] in
+  let loose = Heartbeat.run { lossy with Heartbeat.threshold = Ra_sim.Timebase.s 6 } ~captures:[] in
+  check Alcotest.bool "tight threshold + loss -> false alarms" true
+    (tight.Heartbeat.false_alarms > 0);
+  check Alcotest.int "loose threshold quiet" 0 loose.Heartbeat.false_alarms
+
+let test_heartbeat_permanent_capture () =
+  let capture =
+    { Heartbeat.node = 0;
+      from_ = Ra_sim.Timebase.s 40;
+      until_ = hb_config.Heartbeat.horizon }
+  in
+  let r = Heartbeat.run hb_config ~captures:[ capture ] in
+  check Alcotest.bool "permanently silent node flagged" true
+    (List.mem 0 r.Heartbeat.alarmed)
+
+let test_heartbeat_validation () =
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Heartbeat.run: capture of unknown node") (fun () ->
+      ignore
+        (Heartbeat.run hb_config
+           ~captures:[ { Heartbeat.node = 99; from_ = 0; until_ = 1 } ]))
+
+let () =
+  Alcotest.run "ra_swarm"
+    [
+      ( "heartbeat",
+        [
+          Alcotest.test_case "quiet network" `Quick test_heartbeat_quiet_network;
+          Alcotest.test_case "capture detected" `Quick test_heartbeat_capture_detected;
+          Alcotest.test_case "short capture hides" `Quick test_heartbeat_short_capture_hides;
+          Alcotest.test_case "loss vs threshold" `Quick test_heartbeat_loss_vs_threshold;
+          Alcotest.test_case "permanent capture" `Quick test_heartbeat_permanent_capture;
+          Alcotest.test_case "validation" `Quick test_heartbeat_validation;
+        ] );
+      ( "swarm",
+        [
+          Alcotest.test_case "clean" `Quick test_clean_swarm;
+          Alcotest.test_case "infected counted" `Quick test_infected_nodes_counted;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "loss -> unresponsive" `Quick test_loss_yields_unresponsive;
+          Alcotest.test_case "total loss" `Quick test_total_loss;
+          Alcotest.test_case "accounting invariant" `Quick test_accounting_invariant;
+          Alcotest.test_case "depth & scaling" `Quick test_depth_and_scaling;
+          Alcotest.test_case "fanout" `Quick test_fanout_reduces_depth;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]
