@@ -1,0 +1,20 @@
+.PHONY: build test chaos check bench clean
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# The chaos gate: randomized fault schedules against every scheme family,
+# exits non-zero on any recovery-invariant violation. Deterministic per seed.
+chaos: build
+	dune exec bin/ratool.exe -- chaos --trials 50
+
+check: build test chaos
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -153,6 +153,12 @@ let regenerate_heartbeat () =
        ~capture_length:(Ra_sim.Timebase.s 6)
        ~factors:[ 1.5; 2.5; 4.0; 7.0 ])
 
+let regenerate_chaos () =
+  banner "Chaos — fault injection vs recovery invariants (extension)";
+  print_string (Ra_experiments.Chaos.render (Ra_experiments.Chaos.run ~trials:30 ()));
+  print_newline ();
+  print_string (Ra_experiments.Dos.render_duplicates ())
+
 let regenerate_fleet () =
   banner "Fleet attestation with HKDF-derived per-device keys (extension)";
   let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "bench-master") in
@@ -282,6 +288,32 @@ let sim_tests =
              ~on_complete:(fun _ -> ())
              ();
            Ra_device.Device.run device));
+    (* recovery-latency overhead: a full attestation session retrying
+       through 20% loss and 20% frame corruption, vs the ideal-channel
+       session above *)
+    Test.make ~name:"reliable session (20% loss, 20% corruption)"
+      (Staged.stage (fun () ->
+           let device =
+             Ra_device.Device.create
+               { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
+           in
+           let verifier = Ra_core.Verifier.of_device device in
+           Ra_core.Reliable_protocol.run device verifier
+             {
+               Ra_core.Reliable_protocol.default_config with
+               Ra_core.Reliable_protocol.channel =
+                 {
+                   Ra_sim.Channel.ideal with
+                   Ra_sim.Channel.delay = Ra_sim.Timebase.ms 5;
+                   loss = 0.2;
+                   corrupt = 0.2;
+                 };
+               retry_timeout = Ra_sim.Timebase.s 1;
+               max_attempts = 10;
+             }
+             ~on_done:(fun _ -> ())
+             ();
+           Ra_device.Device.run device));
   ]
 
 let run_group name tests =
@@ -350,6 +382,7 @@ let () =
   timed "schedulability" regenerate_schedulability;
   timed "heartbeat" regenerate_heartbeat;
   timed "fleet" regenerate_fleet;
+  timed "chaos" regenerate_chaos;
   banner "Bechamel microbenchmarks (real from-scratch implementations)";
   let hash_rows = run_group "hash" hash_tests in
   ignore (run_group "mac" mac_tests);

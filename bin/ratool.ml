@@ -354,7 +354,10 @@ let seed_cmd =
 
 (* --- dos --------------------------------------------------------------------- *)
 
-let run_dos seed = print_string (Dos.render ~seed ())
+let run_dos seed =
+  print_string (Dos.render ~seed ());
+  print_newline ();
+  print_string (Dos.render_duplicates ~seed ())
 
 let dos_cmd =
   let info = Cmd.info "dos" ~doc:"Section 3.3: request-flooding resilience" in
@@ -450,6 +453,25 @@ let swarm_cmd =
   let info = Cmd.info "swarm" ~doc:"Collective (swarm) attestation extension" in
   Cmd.v info Term.(const run_swarm $ seed_arg)
 
+(* --- chaos ------------------------------------------------------------------ *)
+
+let run_chaos seed trials =
+  if trials < 1 then `Error (true, "--trials must be at least 1")
+  else begin
+    let summary = Chaos.run ~seed ~trials () in
+    print_string (Chaos.render summary);
+    if summary.Chaos.violations = [] then `Ok ()
+    else `Error (false, "chaos invariants violated")
+  end
+
+let chaos_cmd =
+  let doc =
+    "Randomized fault injection (corruption, loss, partitions, crashes) \
+     against every scheme, asserting recovery invariants"
+  in
+  let info = Cmd.info "chaos" ~doc in
+  Cmd.v info Term.(ret (const run_chaos $ seed_arg $ trials_arg 50))
+
 (* --- all -------------------------------------------------------------------- *)
 
 let run_all seed trials =
@@ -517,6 +539,7 @@ let main =
       swatt_cmd;
       heartbeat_cmd;
       fleet_cmd;
+      chaos_cmd;
       all_cmd;
     ]
 

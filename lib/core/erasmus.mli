@@ -12,16 +12,25 @@ type config = {
   defer_if_app_running : Timebase.t option;
       (** context-aware scheduling: postpone by this much when a
           higher-priority job holds the CPU at the scheduled instant *)
+  persistent_log : bool;
+      (** [true]: the report log is flash-backed and survives a crash;
+          [false] (default): RAM-only — a crash wipes it, which the
+          verifier later detects as a counter gap *)
 }
 
 val default_config : config
-(** SMART MP, T_M = 10 s, capacity 32, no deferral. *)
+(** SMART MP, T_M = 10 s, capacity 32, no deferral, volatile log. *)
 
 type t
 
 val start : Ra_device.Device.t -> ?hooks:Mp.hooks -> config -> t
 (** Begin the self-measurement schedule. Each measurement carries a fresh
-    monotonic counter (its freshness evidence) and a counter-derived nonce. *)
+    monotonic counter (its freshness evidence) and a counter-derived nonce.
+
+    Crash behaviour: an in-flight measurement dies with the CPU, the log is
+    wiped unless [persistent_log], the monotonic counter survives (it is
+    hardware), and the schedule re-arms itself on reboot — no measurement
+    runs while the device is down. *)
 
 val stop : t -> unit
 
@@ -34,7 +43,28 @@ val collect : t -> max:int -> Report.t list
 
 val measurements_taken : t -> int
 
+val reports_lost_to_crash : t -> int
+(** Stored reports wiped by crashes (always 0 with [persistent_log]). *)
+
 val on_demand_measure : t -> nonce:Bytes.t -> on_complete:(Report.t -> unit) -> unit
 (** ERASMUS composed with on-demand RA: run an extra measurement right now
     with the verifier's nonce (maximum freshness), independent of the
     schedule. *)
+
+type audit = {
+  audit_clean : int;
+  audit_tampered : int;  (** reports failing MAC verification *)
+  gaps : (int * int) list;
+      (** missing counter ranges, inclusive — evidence that measurements ran
+          but their reports vanished (e.g. a reboot wiped a volatile log) *)
+  out_of_order : int;
+      (** reports with a missing counter or one at/below the running
+          high-water mark *)
+}
+
+val audit : ?expect_from:int -> Verifier.t -> Report.t list -> audit
+(** What Vrf concludes from a collected batch (oldest first). A log gap is
+    an explicit verdict the operator can act on — distinct from [Tampered]
+    and never an excuse to crash the collector. [expect_from] is the first
+    counter value Vrf expects (e.g. [1] after provisioning, or one past the
+    last counter it saw at the previous collection visit). *)

@@ -1,0 +1,16 @@
+let seal payload =
+  let n = Bytes.length payload in
+  let frame = Bytes.create (n + 4) in
+  Bytes.blit payload 0 frame 0 n;
+  Ra_crypto.Bytesutil.store32_be frame n (Ra_crypto.Crc32.digest payload);
+  frame
+
+let open_ frame =
+  let n = Bytes.length frame - 4 in
+  if n < 0 then Error "frame too short"
+  else begin
+    let payload = Bytes.sub frame 0 n in
+    if Ra_crypto.Bytesutil.load32_be frame n = Ra_crypto.Crc32.digest payload then
+      Ok payload
+    else Error "frame check failed"
+  end

@@ -1,0 +1,18 @@
+(** Link-layer framing for protocol messages: payload plus a CRC-32 frame
+    check sequence.
+
+    Why it exists: a report whose bits flipped in transit fails MAC
+    verification exactly like a report from a tampered device. The frame
+    check lets a receiver tell the two apart — a damaged frame is dropped
+    (and retransmission recovers it), while a frame that arrives intact but
+    fails the attestation MAC is evidence about the {e device}. The chaos
+    harness's "corruption is never silently accepted, and never becomes a
+    false Tampered verdict" invariant rests on this separation. *)
+
+val seal : Bytes.t -> Bytes.t
+(** [payload || crc32(payload)], big-endian, 4 bytes of overhead. *)
+
+val open_ : Bytes.t -> (Bytes.t, string) result
+(** Strip and check the frame check sequence. [Error] means the frame was
+    damaged in transit (or truncated below 4 bytes) and must be treated as
+    lost, never parsed. *)

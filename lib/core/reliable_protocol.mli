@@ -1,7 +1,14 @@
 (** On-demand RA over an unreliable network: retransmission with a stable
-    per-session nonce, and prover-side duplicate suppression so a retried
-    request neither restarts a measurement in flight nor re-measures when
-    the report is already cached. *)
+    per-session nonce, prover-side duplicate suppression, CRC-framed wire
+    messages (see {!Frame} for why that matters under corruption), and a
+    TCP-style recovery policy — exponential backoff with jitter, optionally
+    anchored to a shared {!Rtt} estimator.
+
+    Crash-awareness: the prover's session table (measurement in flight /
+    cached report) is volatile. When the device {!Ra_device.Device.crash}es,
+    it is wiped, so a request retransmitted after reboot runs a {e fresh}
+    measurement rather than replaying a stale pre-crash report; while the
+    device is down, its radio receives nothing. *)
 
 open Ra_sim
 
@@ -9,27 +16,59 @@ type config = {
   mp : Mp.config;
   channel : Channel.config;  (** applied to both directions *)
   auth_time : Timebase.t;
-  retry_timeout : Timebase.t;  (** verifier resends if no report by then *)
+  retry_timeout : Timebase.t;
+      (** initial retransmission timeout (overridden by [?rtt] when given) *)
   max_attempts : int;
+  backoff : float;  (** timeout multiplier per retry, >= 1 (2.0 = classic) *)
+  backoff_jitter : float;
+      (** each timeout is stretched by a uniform fraction in [0, jitter] to
+          desynchronise retry storms; 0 disables *)
+  max_timeout : Timebase.t;  (** backoff ceiling *)
 }
 
 val default_config : config
-(** SMART MP, ideal channel, 200 us auth, 15 s timeout, 4 attempts. *)
+(** SMART MP, ideal channel, 200 us auth, 15 s initial timeout, 4 attempts,
+    2x backoff with 10% jitter, 2 min ceiling. *)
 
 type result = {
   verdict : Verifier.verdict option;  (** [None]: all attempts timed out *)
   attempts : int;  (** requests the verifier transmitted *)
-  duplicates_suppressed : int;  (** retried requests absorbed by the prover *)
+  duplicates_suppressed : int;
+      (** every redundant request copy the prover absorbed
+          (= [retransmits_absorbed + channel_duplicates_absorbed]) *)
+  retransmits_absorbed : int;
+      (** redundant copies that were verifier retransmissions (carrying an
+          attempt number not seen before) *)
+  channel_duplicates_absorbed : int;
+      (** redundant copies manufactured by channel duplication (an attempt
+          number arriving twice) *)
+  duplicate_replies_ignored : int;
+      (** reply copies the verifier discarded because their sequence number
+          was already seen — channel-duplicated replies, distinguishable
+          from retransmitted replies, which carry fresh numbers *)
+  corrupted_dropped : int;
+      (** frames (either direction) dropped by the CRC frame check — damage
+          in transit is recovered by retransmission, never surfaced as a
+          Tampered verdict *)
   measurements_run : int;  (** MPs actually executed (want: at most 1) *)
-  completed_at : Timebase.t option;
+  completed_at : Timebase.t option;  (** when the verdict was reached *)
+  gave_up_at : Timebase.t option;
+      (** when the last attempt's timeout expired, if no verdict *)
 }
 
 val run :
   Ra_device.Device.t ->
   Verifier.t ->
   config ->
+  ?rtt:Rtt.t ->
+  ?mp_hooks:Mp.hooks ->
   on_done:(result -> unit) ->
   unit ->
   unit
 (** Start one attestation session now; [on_done] fires at the verified
-    report or after the last attempt's timeout. *)
+    report or after the last attempt's timeout.
+
+    [?rtt]: a shared estimator, typically reused across sessions with the
+    same prover. It seeds the initial timeout (instead of [retry_timeout]),
+    is backed off on every retransmission, and — per Karn's rule — receives
+    an RTT sample only from sessions that completed without retransmitting. *)

@@ -1,0 +1,59 @@
+open Ra_sim
+
+type t = {
+  min_rto : Timebase.t;
+  max_rto : Timebase.t;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable have_sample : bool;
+  mutable rto : Timebase.t;
+  mutable samples : int;
+  mutable backoffs : int;
+}
+
+let create ?(initial_rto = Timebase.s 15) ?(min_rto = Timebase.ms 200)
+    ?(max_rto = Timebase.minutes 2) () =
+  if min_rto <= 0 || max_rto < min_rto || initial_rto <= 0 then
+    invalid_arg "Rtt.create: bad bounds";
+  {
+    min_rto;
+    max_rto;
+    srtt = 0.;
+    rttvar = 0.;
+    have_sample = false;
+    rto = min (max initial_rto min_rto) max_rto;
+    samples = 0;
+    backoffs = 0;
+  }
+
+let clamp t v =
+  let v = int_of_float (Float.round v) in
+  min t.max_rto (max t.min_rto v)
+
+(* RFC 6298 / Jacobson-Karels: alpha = 1/8, beta = 1/4, RTO = SRTT + 4*RTTVAR.
+   The caller enforces Karn's rule by only feeding samples from exchanges
+   that were never retransmitted. *)
+let observe t sample =
+  if sample < 0 then invalid_arg "Rtt.observe: negative sample";
+  let r = float_of_int sample in
+  if not t.have_sample then begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.;
+    t.have_sample <- true
+  end
+  else begin
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. r));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. r)
+  end;
+  t.samples <- t.samples + 1;
+  t.rto <- clamp t (t.srtt +. (4. *. t.rttvar))
+
+let backoff t =
+  t.backoffs <- t.backoffs + 1;
+  t.rto <- min t.max_rto (max t.min_rto (t.rto * 2))
+
+let rto t = t.rto
+
+let srtt t = if t.have_sample then Some (int_of_float (Float.round t.srtt)) else None
+
+let samples t = t.samples

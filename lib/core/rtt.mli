@@ -1,0 +1,32 @@
+(** TCP-style adaptive retransmission timeout (RFC 6298 / Jacobson-Karels).
+
+    A verifier that polls the same prover repeatedly shares one estimator
+    across sessions: each clean exchange feeds an RTT sample, the RTO tracks
+    [SRTT + 4*RTTVAR], and every retransmission backs the RTO off
+    exponentially until an un-retransmitted exchange re-anchors it (Karn's
+    rule — the caller must not feed samples from retransmitted exchanges,
+    and {!Reliable_protocol.run} does not). *)
+
+open Ra_sim
+
+type t
+
+val create :
+  ?initial_rto:Timebase.t -> ?min_rto:Timebase.t -> ?max_rto:Timebase.t -> unit -> t
+(** Defaults: initial 15 s (conservative, pre-sample), floor 200 ms,
+    ceiling 2 min. *)
+
+val observe : t -> Timebase.t -> unit
+(** Feed one RTT sample (request sent to report verified, no
+    retransmissions in between). *)
+
+val backoff : t -> unit
+(** Double the RTO (capped) — call once per retransmission. *)
+
+val rto : t -> Timebase.t
+(** The current retransmission timeout. *)
+
+val srtt : t -> Timebase.t option
+(** Smoothed RTT, once at least one sample arrived. *)
+
+val samples : t -> int

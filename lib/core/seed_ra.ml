@@ -40,9 +40,14 @@ type prover = {
   mutable running : bool;
   mutable counter : int;
   mutable sent : int;
+  mutable missed : int;
   rng : Prng.t; (* the secret trigger stream, inaccessible to malware *)
 }
 
+(* The timeout circuit is dedicated hardware: it keeps ticking through
+   crashes and reboots, so it re-arms itself unconditionally. A trigger that
+   fires while the CPU is down is simply missed — the verifier sees the
+   absent report as a schedule gap. *)
 let rec arm t =
   if t.running then begin
     let eng = t.device.Device.engine in
@@ -54,19 +59,25 @@ let rec arm t =
     ignore
       (Engine.schedule_after eng ~delay:gap (fun _ ->
            if t.running then begin
-             t.counter <- t.counter + 1;
-             let counter = t.counter in
-             Engine.recordf eng ~tag:"seed" "trigger #%d fires" counter;
-             let nonce = Bytes.create 8 in
-             Ra_crypto.Bytesutil.store64_be nonce 0 (Int64.of_int counter);
-             Mp.run t.device
-               { t.config.mp with Mp.counter = Some counter }
-               ~nonce
-               ~on_complete:(fun report ->
-                 t.sent <- t.sent + 1;
-                 t.send (Engine.now eng, report))
-               ();
-             arm t
+             arm t;
+             if Device.is_up t.device then begin
+               t.counter <- t.counter + 1;
+               let counter = t.counter in
+               Engine.recordf eng ~tag:"seed" "trigger #%d fires" counter;
+               let nonce = Bytes.create 8 in
+               Ra_crypto.Bytesutil.store64_be nonce 0 (Int64.of_int counter);
+               Mp.run t.device
+                 { t.config.mp with Mp.counter = Some counter }
+                 ~nonce
+                 ~on_complete:(fun report ->
+                   t.sent <- t.sent + 1;
+                   t.send (Engine.now eng, report))
+                 ()
+             end
+             else begin
+               t.missed <- t.missed + 1;
+               Engine.record eng ~tag:"seed" "trigger missed (device down)"
+             end
            end))
   end
 
@@ -79,6 +90,7 @@ let start device config ~send =
       running = true;
       counter = 0;
       sent = 0;
+      missed = 0;
       rng = Prng.create ~seed:(config.shared_seed lxor 0x5EED);
     }
   in
@@ -89,6 +101,8 @@ let start device config ~send =
 let stop t = t.running <- false
 
 let reports_sent t = t.sent
+
+let missed_triggers t = t.missed
 
 type outcome = { accepted : int; tampered : int; replayed : int; missing : int }
 

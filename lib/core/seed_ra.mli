@@ -29,11 +29,18 @@ val start :
   send:(Timebase.t * Report.t -> unit) ->
   prover
 (** Fires measurements at the schedule instants; [send] models the uplink
-    (a lossy channel or the verifier's inbox). *)
+    (a lossy channel or the verifier's inbox). The trigger circuit is
+    dedicated hardware: it keeps ticking through crashes, so after a reboot
+    the next instant fires normally — triggers landing while the device is
+    down are counted as {!missed_triggers}, and the verifier observes the
+    absent reports as schedule gaps, not as tampering. *)
 
 val stop : prover -> unit
 
 val reports_sent : prover -> int
+
+val missed_triggers : prover -> int
+(** Triggers that fired while the device was crashed (no MP could run). *)
 
 (** Verifier-side monitoring. *)
 

@@ -132,6 +132,28 @@ let cancel t job =
     t.current <- None;
     dispatch t
 
+let flush t =
+  (match t.current with
+  | Some job ->
+    (match job.state with
+    | Running { started; completion } ->
+      Engine.cancel t.engine completion;
+      account t job (Timebase.sub (Engine.now t.engine) started);
+      job.state <- Cancelled
+    | Waiting | Complete | Cancelled -> ());
+    t.current <- None
+  | None -> ());
+  let rec drain () =
+    match Heap.pop t.ready with
+    | None -> ()
+    | Some (_, _, job) ->
+      (match job.state with
+      | Waiting -> job.state <- Cancelled
+      | Running _ | Complete | Cancelled -> ());
+      drain ()
+  in
+  drain ()
+
 let running t =
   match t.current with
   | None -> None

@@ -30,6 +30,11 @@ val submit :
 val cancel : t -> job -> unit
 (** No effect if the job already completed. *)
 
+val flush : t -> unit
+(** Cancel every queued and running job, atomic ones included, without
+    running any [on_complete] — the power-loss semantics a device crash
+    needs. CPU time consumed so far stays accounted. *)
+
 val running : t -> (string * int) option
 (** Name and priority of the job holding the CPU, if any. *)
 

@@ -26,6 +26,12 @@ type t = {
   cpu : Cpu.t;
   memory : Memory.t;
   config : config;
+  mutable epoch : int;
+  mutable up : bool;
+  mutable crash_count : int;
+  mutable last_boot_at : Timebase.t;
+  mutable crash_hooks : (unit -> unit) list;
+  mutable reboot_hooks : (unit -> unit) list;
 }
 
 (* The image is a pure function of the seed so prover and verifier can build
@@ -48,6 +54,12 @@ let create config =
     cpu = Cpu.create engine;
     memory = Memory.create ~image ~block_size:config.block_size;
     config;
+    epoch = 0;
+    up = true;
+    crash_count = 0;
+    last_boot_at = Timebase.zero;
+    crash_hooks = [];
+    reboot_hooks = [];
   }
 
 let attested_bytes t = t.config.blocks * t.config.modeled_block_bytes
@@ -55,3 +67,40 @@ let attested_bytes t = t.config.blocks * t.config.modeled_block_bytes
 let is_data_block t block = List.mem block t.config.data_blocks
 
 let run ?until t = Engine.run ?until t.engine
+
+(* --- crash / reboot ------------------------------------------------------ *)
+
+let epoch t = t.epoch
+
+let is_up t = t.up
+
+let crash_count t = t.crash_count
+
+let last_boot_at t = t.last_boot_at
+
+let on_crash t f = t.crash_hooks <- t.crash_hooks @ [ f ]
+
+let on_reboot t f = t.reboot_hooks <- t.reboot_hooks @ [ f ]
+
+let crash ?(reboot_delay = Timebase.ms 250) t =
+  if reboot_delay < 0 then invalid_arg "Device.crash: negative reboot delay";
+  if t.up then begin
+    let eng = t.engine in
+    t.up <- false;
+    t.epoch <- t.epoch + 1;
+    t.crash_count <- t.crash_count + 1;
+    Engine.recordf eng ~tag:"device" "CRASH #%d: volatile state lost, reboot in %s"
+      t.crash_count
+      (Timebase.to_string reboot_delay);
+    (* Power loss: every CPU job dies mid-flight (no completions), MPU locks
+       are volatile and come up open. *)
+    Cpu.flush t.cpu;
+    Memory.unlock_all ~time:(Engine.now eng) t.memory;
+    List.iter (fun f -> f ()) t.crash_hooks;
+    ignore
+      (Engine.schedule_after eng ~delay:reboot_delay (fun _ ->
+           t.up <- true;
+           t.last_boot_at <- Engine.now eng;
+           Engine.recordf eng ~tag:"device" "boot complete (epoch %d)" t.epoch;
+           List.iter (fun f -> f ()) t.reboot_hooks))
+  end

@@ -1,0 +1,38 @@
+(** Chaos harness: every RA scheme family under randomized fault schedules
+    (network corruption, loss, duplication, reordering, partitions, device
+    crashes), with per-trial invariant checks:
+
+    - a benign device is never reported Tampered, whatever the channel does;
+    - the fire-alarm deadline is met while attestation retries around faults;
+    - attestation completes after a partition heals or the device reboots;
+    - a reboot forces a fresh measurement — no stale pre-crash report is
+      accepted, and re-measurements are bounded by the crash count;
+    - ERASMUS log wipes surface as audit gaps, never as Tampered;
+    - SeED and swarm keep their accounting consistent under loss.
+
+    Deterministic: the same seed replays the same fault plans and outcomes. *)
+
+type trial_outcome = {
+  trial : int;
+  scheme : string;
+  profile : string;
+  plan : string;  (** the fault plan, rendered for logs *)
+  completed_s : float option;
+      (** completion time for on-demand schemes that reached a verdict *)
+  violations : string list;  (** empty = all invariants held *)
+}
+
+type summary = {
+  outcomes : trial_outcome list;
+  total : int;
+  failed : int;  (** trials with at least one violation *)
+  violations : string list;  (** flattened, with trial context *)
+  baselines : (string * float) list;
+      (** fault-free completion seconds per on-demand scheme *)
+}
+
+val run : ?seed:int -> trials:int -> unit -> summary
+
+val render : summary -> string
+(** Recovery-latency table (ideal vs under faults) plus the verdict line,
+    listing every violation if any. *)

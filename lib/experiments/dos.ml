@@ -84,6 +84,82 @@ let run ?(seed = 31) ?(horizon = Timebase.s 30) ~mode ~rate_per_s () =
     attacker_cpu_fraction = float_of_int attacker_busy /. elapsed /. 1e9;
   }
 
+(* --- duplicate taxonomy ------------------------------------------------- *)
+
+type duplicate_result = {
+  duplicate_rate : float;
+  loss_rate : float;
+  rp_attempts : int;
+  retransmits : int;  (** request copies the verifier re-sent (loss-driven) *)
+  channel_dups : int;  (** request copies the channel manufactured *)
+  dup_replies : int;  (** reply copies the verifier threw away *)
+  rp_measurements : int;
+}
+
+let run_duplicates ?(seed = 31) ~duplicate ~loss () =
+  let device =
+    Device.create
+      { Device.default_config with Device.seed; block_size = 256 }
+  in
+  let eng = device.Device.engine in
+  let verifier = Verifier.of_device device in
+  let result = ref None in
+  Reliable_protocol.run device verifier
+    {
+      Reliable_protocol.default_config with
+      Reliable_protocol.channel =
+        { Channel.ideal with Channel.delay = Timebase.ms 20; duplicate; loss };
+      retry_timeout = Timebase.s 12;
+      max_attempts = 10;
+    }
+    ~on_done:(fun r -> result := Some r)
+    ();
+  Engine.run eng;
+  match !result with
+  | None -> assert false (* bounded attempts always produce a result *)
+  | Some r ->
+    {
+      duplicate_rate = duplicate;
+      loss_rate = loss;
+      rp_attempts = r.Reliable_protocol.attempts;
+      retransmits = r.Reliable_protocol.retransmits_absorbed;
+      channel_dups = r.Reliable_protocol.channel_duplicates_absorbed;
+      dup_replies = r.Reliable_protocol.duplicate_replies_ignored;
+      rp_measurements = r.Reliable_protocol.measurements_run;
+    }
+
+let render_duplicates ?seed () =
+  let rows =
+    List.map
+      (fun (duplicate, loss) ->
+        let r = run_duplicates ?seed ~duplicate ~loss () in
+        [
+          Printf.sprintf "%.0f%%" (r.duplicate_rate *. 100.);
+          Printf.sprintf "%.0f%%" (r.loss_rate *. 100.);
+          string_of_int r.rp_attempts;
+          string_of_int r.retransmits;
+          string_of_int r.channel_dups;
+          string_of_int r.dup_replies;
+          string_of_int r.rp_measurements;
+        ])
+      [ (0., 0.); (1.0, 0.); (0.5, 0.3); (0., 0.5) ]
+  in
+  "Duplicate taxonomy — why the prover saw a request twice\n"
+  ^ Tablefmt.render
+      ~header:
+        [
+          "dup rate";
+          "loss rate";
+          "attempts";
+          "vrf retransmits";
+          "channel dups";
+          "dup replies";
+          "MPs run";
+        ]
+      rows
+  ^ "Whatever the mix, the prover measures once: retransmitted and\n\
+     duplicated requests alike are absorbed by the session cache.\n"
+
 let render ?seed () =
   let rows =
     List.concat_map

@@ -33,3 +33,27 @@ val run :
 
 val render : ?seed:int -> unit -> string
 (** The full sweep: three modes x several request rates. *)
+
+(** {2 Duplicate taxonomy}
+
+    A prover cannot stop the network from handing it the same request
+    twice, but it can know why: {!Ra_core.Reliable_protocol} tags requests
+    with attempt numbers, separating verifier retransmissions (loss-driven,
+    the protocol working as designed) from channel-manufactured duplicates
+    (possibly an amplification attempt). Either way the session cache keeps
+    the measurement count at one. *)
+
+type duplicate_result = {
+  duplicate_rate : float;
+  loss_rate : float;
+  rp_attempts : int;
+  retransmits : int;  (** request copies the verifier re-sent (loss-driven) *)
+  channel_dups : int;  (** request copies the channel manufactured *)
+  dup_replies : int;  (** reply copies the verifier threw away *)
+  rp_measurements : int;
+}
+
+val run_duplicates :
+  ?seed:int -> duplicate:float -> loss:float -> unit -> duplicate_result
+
+val render_duplicates : ?seed:int -> unit -> string

@@ -1,0 +1,100 @@
+open Ra_sim
+open Ra_device
+
+type profile = Network_only | With_partition | With_crash
+
+let profile_to_string = function
+  | Network_only -> "network-only"
+  | With_partition -> "with-partition"
+  | With_crash -> "with-crash"
+
+type plan = {
+  channel : Channel.config;
+  crash_at : Timebase.t option;
+  reboot_delay : Timebase.t;
+  horizon : Timebase.t;
+}
+
+(* Ceilings chosen so that a bounded-retry protocol still has a workable
+   success probability: at 35% loss a 4-attempt exchange fails outright
+   only ~2% of the time, and backoff plus the chaos harness's larger
+   attempt budgets push that far lower. *)
+let max_loss = 0.35
+let max_duplicate = 0.3
+let max_corrupt = 0.3
+let max_reorder = 0.3
+
+let random_plan rng ?(horizon = Timebase.s 60) profile =
+  if horizon <= 0 then invalid_arg "Faults.random_plan: horizon <= 0";
+  let frac bound = float_of_int (Prng.int rng ~bound:1000) /. 1000.0 *. bound in
+  let base_delay = Timebase.ms (1 + Prng.int rng ~bound:50) in
+  let channel =
+    {
+      Channel.ideal with
+      Channel.delay = base_delay;
+      jitter = Timebase.ms (Prng.int rng ~bound:20);
+      loss = frac max_loss;
+      duplicate = frac max_duplicate;
+      corrupt = frac max_corrupt;
+      reorder = frac max_reorder;
+    }
+  in
+  let channel =
+    match profile with
+    | Network_only | With_crash -> channel
+    | With_partition ->
+      (* one outage window strictly inside the horizon, at most half of it,
+         so there is always air time to recover afterwards *)
+      let max_len = max 1 (horizon / 2) in
+      let len = 1 + Prng.int rng ~bound:max_len in
+      let start = Prng.int rng ~bound:(horizon - len) in
+      { channel with Channel.partitions = [ (start, Timebase.add start len) ] }
+  in
+  let crash_at =
+    match profile with
+    | Network_only | With_partition -> None
+    | With_crash ->
+      (* in the first half of the horizon: the point is recovery, and a
+         crash at the very end would only test the timeout path *)
+      Some (Prng.int rng ~bound:(max 1 (horizon / 2)))
+  in
+  {
+    channel;
+    crash_at;
+    reboot_delay = Timebase.ms (50 + Prng.int rng ~bound:450);
+    horizon;
+  }
+
+let install device plan =
+  match plan.crash_at with
+  | None -> ()
+  | Some at ->
+    let eng = device.Device.engine in
+    ignore
+      (Engine.schedule eng ~at (fun _ ->
+           Device.crash ~reboot_delay:plan.reboot_delay device))
+
+let describe plan =
+  let c = plan.channel in
+  let partition =
+    match c.Channel.partitions with
+    | [] -> "none"
+    | windows ->
+      String.concat ","
+        (List.map
+           (fun (a, b) ->
+             Printf.sprintf "[%s,%s]" (Timebase.to_string a) (Timebase.to_string b))
+           windows)
+  in
+  let crash =
+    match plan.crash_at with
+    | None -> "none"
+    | Some at ->
+      Printf.sprintf "at %s (reboot %s)" (Timebase.to_string at)
+        (Timebase.to_string plan.reboot_delay)
+  in
+  Printf.sprintf
+    "loss=%.2f dup=%.2f corrupt=%.2f reorder=%.2f delay=%s partition=%s crash=%s"
+    c.Channel.loss c.Channel.duplicate c.Channel.corrupt c.Channel.reorder
+    (Timebase.to_string c.Channel.delay)
+    partition crash

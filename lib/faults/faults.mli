@@ -1,0 +1,35 @@
+(** Fault schedules for chaos experiments: a [plan] bundles everything that
+    will go wrong in one trial — channel fault rates, an optional partition
+    window, an optional crash instant — drawn deterministically from the
+    simulation PRNG so a trial is reproducible from its seed alone. *)
+
+open Ra_sim
+open Ra_device
+
+type profile =
+  | Network_only  (** loss / duplication / corruption / reordering only *)
+  | With_partition  (** network faults plus one total-outage window *)
+  | With_crash  (** network faults plus one device crash (and reboot) *)
+
+val profile_to_string : profile -> string
+
+type plan = {
+  channel : Channel.config;
+  crash_at : Timebase.t option;
+  reboot_delay : Timebase.t;
+  horizon : Timebase.t;  (** the trial length the plan was drawn for *)
+}
+
+val random_plan : Prng.t -> ?horizon:Timebase.t -> profile -> plan
+(** Draw a plan for a trial of [horizon] (default 60 s) length. Fault rates
+    are capped (loss at 0.35, the rest at 0.3) so recovery remains likely
+    within a bounded retry budget; a partition window sits strictly inside
+    the horizon and covers at most half of it; a crash lands in the first
+    half, leaving time to observe the recovery. *)
+
+val install : Device.t -> plan -> unit
+(** Arm the device-level faults (the crash timer). Channel faults take
+    effect by passing [plan.channel] to the scheme under test. *)
+
+val describe : plan -> string
+(** One line for trial logs: rates, partition windows, crash instant. *)

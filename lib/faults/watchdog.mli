@@ -1,0 +1,23 @@
+(** A hardware watchdog timer: software must [pet] it at least once per
+    [timeout] or it bites, firing a recovery action (typically
+    {!Ra_device.Device.crash} — a watchdog reset looks exactly like a power
+    cycle to the software). Biting re-arms it for the next window.
+
+    Caveat for simulations: an armed watchdog keeps the event queue
+    non-empty forever, so drive the engine with [Engine.run ~until:...] (or
+    [disarm] it) rather than running to quiescence. *)
+
+open Ra_sim
+
+type t
+
+val create : Engine.t -> timeout:Timebase.t -> on_bite:(unit -> unit) -> t
+(** Armed immediately; the first deadline is [now + timeout]. *)
+
+val pet : t -> unit
+(** Push the deadline back to [now + timeout]. *)
+
+val disarm : t -> unit
+(** Stop watching; no further bites, pets are ignored. *)
+
+val bites : t -> int

@@ -3,29 +3,89 @@ type config = {
   jitter : Timebase.t;
   loss : float;
   duplicate : float;
+  corrupt : float;
+  reorder : float;
+  partitions : (Timebase.t * Timebase.t) list;
 }
 
-let ideal = { delay = Timebase.ms 40; jitter = 0; loss = 0.; duplicate = 0. }
+let ideal =
+  {
+    delay = Timebase.ms 40;
+    jitter = 0;
+    loss = 0.;
+    duplicate = 0.;
+    corrupt = 0.;
+    reorder = 0.;
+    partitions = [];
+  }
 
 type 'a t = {
   engine : Engine.t;
   config : config;
   deliver : 'a -> unit;
+  mutate : (Prng.t -> 'a -> 'a) option;
   rng : Prng.t;
   mutable sent : int;
   mutable delivered : int;
+  mutable corrupted : int;
+  mutable reordered : int;
+  mutable partition_drops : int;
 }
 
-let create engine config ~deliver =
-  if config.loss < 0. || config.loss > 1. then invalid_arg "Channel: bad loss";
-  if config.duplicate < 0. || config.duplicate > 1. then
-    invalid_arg "Channel: bad duplicate";
-  { engine; config; deliver; rng = Prng.split (Engine.prng engine); sent = 0; delivered = 0 }
+let check_probability name p =
+  if p < 0. || p > 1. then invalid_arg ("Channel: bad " ^ name)
 
+let create engine config ?corrupt ~deliver () =
+  check_probability "loss" config.loss;
+  check_probability "duplicate" config.duplicate;
+  check_probability "corrupt" config.corrupt;
+  check_probability "reorder" config.reorder;
+  if config.corrupt > 0. && corrupt = None then
+    invalid_arg "Channel: corrupt > 0 requires a ~corrupt mutator";
+  List.iter
+    (fun (a, b) -> if a < 0 || b < a then invalid_arg "Channel: bad partition window")
+    config.partitions;
+  {
+    engine;
+    config;
+    deliver;
+    mutate = corrupt;
+    rng = Prng.split (Engine.prng engine);
+    sent = 0;
+    delivered = 0;
+    corrupted = 0;
+    reordered = 0;
+    partition_drops = 0;
+  }
+
+let partitioned t now =
+  List.exists (fun (a, b) -> now >= a && now < b) t.config.partitions
+
+(* One surviving copy: corrupt first (payload decided when the frame leaves
+   the radio), then latency = base + jitter + an optional reordering
+   displacement of up to 4x the base delay, enough to land after frames sent
+   later. *)
 let deliver_copy t message =
+  let message, hit =
+    if t.config.corrupt > 0. && Prng.bernoulli t.rng ~p:t.config.corrupt then
+      match t.mutate with
+      | Some f -> (f t.rng message, true)
+      | None -> (message, false)
+    else (message, false)
+  in
+  if hit then t.corrupted <- t.corrupted + 1;
+  let displacement =
+    if t.config.reorder > 0. && Prng.bernoulli t.rng ~p:t.config.reorder then begin
+      t.reordered <- t.reordered + 1;
+      1 + Prng.int t.rng ~bound:(4 * max 1 t.config.delay)
+    end
+    else 0
+  in
   let latency =
-    Timebase.add t.config.delay
-      (if t.config.jitter > 0 then Prng.int t.rng ~bound:(t.config.jitter + 1) else 0)
+    Timebase.add
+      (Timebase.add t.config.delay
+         (if t.config.jitter > 0 then Prng.int t.rng ~bound:(t.config.jitter + 1) else 0))
+      displacement
   in
   ignore
     (Engine.schedule_after t.engine ~delay:latency (fun _ ->
@@ -34,11 +94,31 @@ let deliver_copy t message =
 
 let send t message =
   t.sent <- t.sent + 1;
-  if not (Prng.bernoulli t.rng ~p:t.config.loss) then begin
+  if partitioned t (Engine.now t.engine) then
+    t.partition_drops <- t.partition_drops + 1
+  else if not (Prng.bernoulli t.rng ~p:t.config.loss) then begin
     deliver_copy t message;
     if Prng.bernoulli t.rng ~p:t.config.duplicate then deliver_copy t message
+  end
+
+let flip_random_bit rng payload =
+  let n = Bytes.length payload in
+  if n = 0 then payload
+  else begin
+    let copy = Bytes.copy payload in
+    let bit = Prng.int rng ~bound:(n * 8) in
+    let byte = bit / 8 in
+    Bytes.set copy byte
+      (Char.chr (Char.code (Bytes.get copy byte) lxor (1 lsl (bit mod 8))));
+    copy
   end
 
 let sent t = t.sent
 
 let delivered t = t.delivered
+
+let corrupted t = t.corrupted
+
+let reordered t = t.reordered
+
+let partition_drops t = t.partition_drops

@@ -1,27 +1,72 @@
-(** A point-to-point message channel with delay, jitter, loss and
-    duplication — the network between verifier and prover. *)
+(** A point-to-point message channel with delay, jitter, loss, duplication,
+    payload corruption, reordering and scheduled partitions — the network
+    between verifier and prover.
+
+    Faults are applied to each {!send} in a fixed, documented order so runs
+    are reproducible from the engine seed:
+
+    + {b partition} — if the send instant falls inside a configured
+      partition window the message is dropped outright;
+    + {b loss} — otherwise the message is dropped with probability [loss];
+    + {b duplicate} — a surviving message spawns a second copy with
+      probability [duplicate];
+    + {b corrupt} — each copy is independently mutated with probability
+      [corrupt] (one random bit-flip when using {!flip_random_bit});
+    + {b delay} — each copy is scheduled at [delay + U[0,jitter]], plus,
+      with probability [reorder], a displacement uniform in
+      [(0, 4*delay]] that lets it overtake or trail neighbouring sends. *)
 
 type config = {
   delay : Timebase.t;  (** base one-way latency *)
   jitter : Timebase.t;  (** extra uniform latency in [\[0, jitter\]] *)
   loss : float;  (** independent per-message loss probability *)
   duplicate : float;  (** probability a delivered message arrives twice *)
+  corrupt : float;
+      (** per-copy probability the payload is mutated in flight; requires a
+          [~corrupt] mutator at {!create} when positive *)
+  reorder : float;
+      (** per-copy probability of an extra displacement uniform in
+          [(0, 4*delay]], which reorders it against neighbouring sends *)
+  partitions : (Timebase.t * Timebase.t) list;
+      (** [\[start, stop)] windows of total outage: every send inside a
+          window is dropped (100% loss), regardless of [loss] *)
 }
 
 val ideal : config
-(** 40 ms, no jitter, no loss, no duplication. *)
+(** 40 ms, no jitter, no loss, no duplication, no corruption, no
+    reordering, no partitions. *)
 
 type 'a t
 
-val create : Engine.t -> config -> deliver:('a -> unit) -> 'a t
-(** [deliver] runs at the (jittered) arrival time of each surviving copy. *)
+val create :
+  Engine.t -> config -> ?corrupt:(Prng.t -> 'a -> 'a) -> deliver:('a -> unit) -> unit -> 'a t
+(** [deliver] runs at the (jittered) arrival time of each surviving copy.
+    [corrupt] is the in-flight mutator applied to corrupted copies; it must
+    return a fresh value (never mutate the original — the sender may hold
+    it). Raises [Invalid_argument] if [config.corrupt > 0] and no mutator is
+    given, or any probability or partition window is malformed. *)
 
 val send : 'a t -> 'a -> unit
-(** Queue a message now. Loss and duplication are decided per send from the
-    engine's random stream, so runs are reproducible. *)
+(** Queue a message now. All fault decisions are drawn per send from the
+    engine's random stream, in the order documented above, so runs are
+    reproducible. *)
+
+val flip_random_bit : Prng.t -> Bytes.t -> Bytes.t
+(** A fresh copy with one uniformly chosen bit flipped — the canonical
+    [~corrupt] mutator for byte-frame channels. Empty payloads are returned
+    unchanged. *)
 
 val sent : 'a t -> int
 (** Messages handed to {!send}. *)
 
 val delivered : 'a t -> int
 (** Copies actually delivered (duplicates count twice). *)
+
+val corrupted : 'a t -> int
+(** Copies mutated in flight (all of them still delivered). *)
+
+val reordered : 'a t -> int
+(** Copies that received a reordering displacement. *)
+
+val partition_drops : 'a t -> int
+(** Sends swallowed by a partition window. *)

@@ -245,8 +245,9 @@ let test_channel_ideal () =
   let eng = Engine.create () in
   let arrived = ref [] in
   let ch =
-    Channel.create eng Channel.ideal ~deliver:(fun m ->
-        arrived := (m, Engine.now eng) :: !arrived)
+    Channel.create eng Channel.ideal
+      ~deliver:(fun m -> arrived := (m, Engine.now eng) :: !arrived)
+      ()
   in
   Channel.send ch "hello";
   Engine.run eng;
@@ -259,7 +260,7 @@ let test_channel_ideal () =
 let test_channel_loss () =
   let eng = Engine.create ~seed:3 () in
   let ch =
-    Channel.create eng { Channel.ideal with Channel.loss = 0.5 } ~deliver:(fun _ -> ())
+    Channel.create eng { Channel.ideal with Channel.loss = 0.5 } ~deliver:(fun _ -> ()) ()
   in
   for i = 1 to 1000 do
     Channel.send ch i
@@ -270,12 +271,14 @@ let test_channel_loss () =
 
 let test_channel_total_loss_and_duplicates () =
   let eng = Engine.create ~seed:4 () in
-  let dead = Channel.create eng { Channel.ideal with Channel.loss = 1.0 } ~deliver:(fun _ -> ()) in
+  let dead =
+    Channel.create eng { Channel.ideal with Channel.loss = 1.0 } ~deliver:(fun _ -> ()) ()
+  in
   Channel.send dead ();
   Engine.run eng;
   check Alcotest.int "nothing survives loss 1.0" 0 (Channel.delivered dead);
   let dup =
-    Channel.create eng { Channel.ideal with Channel.duplicate = 1.0 } ~deliver:(fun _ -> ())
+    Channel.create eng { Channel.ideal with Channel.duplicate = 1.0 } ~deliver:(fun _ -> ()) ()
   in
   Channel.send dup ();
   Engine.run eng;
@@ -287,7 +290,7 @@ let test_channel_jitter_bounds () =
   let ch =
     Channel.create eng
       { Channel.ideal with Channel.jitter = Timebase.ms 20 }
-      ~deliver:(fun () -> times := Engine.now eng :: !times)
+      ~deliver:(fun () -> times := Engine.now eng :: !times) ()
   in
   for _ = 1 to 50 do
     Channel.send ch ()
@@ -303,7 +306,7 @@ let test_channel_jitter_bounds () =
 let test_channel_validation () =
   let eng = Engine.create () in
   Alcotest.check_raises "bad loss" (Invalid_argument "Channel: bad loss") (fun () ->
-      ignore (Channel.create eng { Channel.ideal with Channel.loss = 1.5 } ~deliver:ignore))
+      ignore (Channel.create eng { Channel.ideal with Channel.loss = 1.5 } ~deliver:ignore ()))
 
 (* --- Trace -------------------------------------------------------------------- *)
 
