@@ -1,4 +1,4 @@
-.PHONY: build test chaos check bench clean
+.PHONY: build test chaos check bench bench-json bench-check clean
 
 build:
 	dune build
@@ -13,8 +13,23 @@ chaos: build
 
 check: build test chaos
 
+# Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build
 	dune exec bench/main.exe
+
+# Refresh the committed perf baselines (full-size buffers and budgets).
+# Run on an otherwise idle machine, then commit the BENCH_*.json diff.
+bench-json: build
+	dune exec bench/main.exe -- --json .
+
+# Perf-regression gate: quick measurements against the committed baselines.
+# 20% tolerance assumes the same machine as the baseline; CI uses a looser
+# value because its hosts differ from the baseline machine.
+bench-check: build
+	dune exec bin/ratool.exe -- bench --out _build/bench-current
+	dune exec bench/compare.exe -- \
+	  BENCH_crypto.json _build/bench-current/BENCH_crypto.json \
+	  BENCH_sim.json _build/bench-current/BENCH_sim.json
 
 clean:
 	dune clean

@@ -1,0 +1,65 @@
+(* Diff a bench run against a committed baseline; exit non-zero on
+   regression. Usage:
+
+     compare.exe [--tolerance 0.2] BASELINE.json CURRENT.json [...]
+
+   Files pair up positionally: baseline1 current1 baseline2 current2 ...
+   The default 20% tolerance suits same-machine comparisons; CI passes a
+   looser value because the committed baselines come from another host. *)
+
+let () =
+  let tolerance = ref 0.2 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0. ->
+        tolerance := t;
+        parse rest
+      | _ ->
+        prerr_endline "compare: --tolerance expects a positive float";
+        exit 2)
+    | flag :: _ when String.length flag > 1 && flag.[0] = '-' ->
+      Printf.eprintf "compare: unknown flag %s\n" flag;
+      exit 2
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  let rec pairs = function
+    | [] -> []
+    | baseline :: current :: rest -> (baseline, current) :: pairs rest
+    | [ _ ] ->
+      prerr_endline
+        "compare: expected BASELINE CURRENT file pairs (odd count given)";
+      exit 2
+  in
+  let pairs = pairs files in
+  if pairs = [] then begin
+    prerr_endline
+      "usage: compare.exe [--tolerance T] BASELINE.json CURRENT.json [...]";
+    exit 2
+  end;
+  let ok =
+    List.for_all
+      (fun (baseline_file, current_file) ->
+        let open Ra_experiments.Benchkit in
+        match (read_file baseline_file, read_file current_file) with
+        | exception (Parse_error msg | Sys_error msg) ->
+          Printf.eprintf "compare: %s\n" msg;
+          false
+        | baseline, current ->
+          Printf.printf "== %s: %s vs %s\n" baseline.suite baseline_file
+            current_file;
+          let comparisons =
+            compare_suites ~tolerance:!tolerance ~baseline ~current
+          in
+          let report, ok = render_comparison ~tolerance:!tolerance comparisons in
+          print_string report;
+          ok)
+      pairs
+  in
+  exit (if ok then 0 else 1)

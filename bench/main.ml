@@ -71,14 +71,14 @@ let regenerate_smarm () =
   banner "E5 / Section 3.2 — SMARM escape probabilities";
   print_string
     (Ra_experiments.Smarm_sweep.sweep_rounds ~blocks:64 ~max_rounds:14
-       ~game_trials:200_000 ~seed:7);
+       ~game_trials:200_000 ~seed:7 ());
   print_newline ();
   print_string
     (Ra_experiments.Smarm_sweep.sweep_blocks ~blocks_list:[ 4; 16; 64; 256; 1024 ]
-       ~trials:200_000 ~seed:7);
+       ~trials:200_000 ~seed:7 ());
   let escape, (lo, hi) =
     Ra_experiments.Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials:200
-      ~seed:7
+      ~seed:7 ()
   in
   Printf.printf
     "full-device simulation (B=64, 1 round, 200 trials): escape %.3f [%.3f, %.3f]\n"
@@ -364,6 +364,63 @@ speed, carries the Fig. 2 ordering)\n"
       (65536. /. b2b *. 1e9 /. 1e6)
       (65536. /. sha *. 1e9 /. 1e6)
   | _ -> print_endline "\nshape check: estimates unavailable"
+
+(* ------------------------------------------------------------------ *)
+(* --json mode: emit BENCH_crypto.json / BENCH_sim.json                *)
+(* ------------------------------------------------------------------ *)
+
+let emit_json ~quick dir =
+  let open Ra_experiments.Benchkit in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let crypto =
+    { suite = "crypto"; metrics = crypto_metrics ~quick () }
+  in
+  let sim = { suite = "sim"; metrics = sim_metrics ~quick () } in
+  List.iter
+    (fun (file, suite) ->
+      let path = Filename.concat dir file in
+      write_file path suite;
+      Printf.printf "wrote %s (%d metrics)\n" path (List.length suite.metrics))
+    [ ("BENCH_crypto.json", crypto); ("BENCH_sim.json", sim) ]
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [--json [DIR]] [--quick] [--jobs N]\n\
+     \  (no flags)      regenerate all tables/figures + Bechamel microbenches\n\
+     \  --json [DIR]    write BENCH_crypto.json and BENCH_sim.json to DIR (default .)\n\
+     \  --quick         shrink buffers/budgets for a fast smoke run\n\
+     \  --jobs N        domain count for the parallel experiment drivers";
+  exit 2
+
+let () =
+  let json_dir = ref None and quick = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> (
+      match rest with
+      | dir :: rest when String.length dir > 0 && dir.[0] <> '-' ->
+        json_dir := Some dir;
+        parse rest
+      | rest ->
+        json_dir := Some ".";
+        parse rest)
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some jobs when jobs >= 1 ->
+        Ra_parallel.set_default_jobs jobs;
+        parse rest
+      | _ -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !json_dir with
+  | Some dir ->
+    emit_json ~quick:!quick dir;
+    exit 0
+  | None -> ()
 
 let () =
   timed "fig1" regenerate_fig1;

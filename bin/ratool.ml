@@ -12,6 +12,18 @@ let trials_arg default =
   let doc = "Monte-Carlo trials per data point." in
   Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc)
 
+(* Evaluating this term sets the Ra_parallel default, so commands opt in by
+   prepending [$ jobs_term] and taking a leading unit. Results do not depend
+   on the value — only wall time does. *)
+let jobs_term =
+  let doc =
+    "Domains for the parallel experiment drivers (default: $(b,RA_JOBS) or \
+     the host's core count; 1 forces sequential)."
+  in
+  Term.(
+    const (fun jobs -> Option.iter Ra_parallel.set_default_jobs jobs)
+    $ Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc))
+
 (* --- fig1: on-demand protocol timeline ------------------------------- *)
 
 let scheme_arg =
@@ -65,11 +77,11 @@ let fig2_cmd =
 
 (* --- table1 ------------------------------------------------------------ *)
 
-let run_table1 seed trials = print_string (Table1.render ~trials ~seed ())
+let run_table1 () seed trials = print_string (Table1.render ~trials ~seed ())
 
 let table1_cmd =
   let info = Cmd.info "table1" ~doc:"Table 1: measured feature matrix" in
-  Cmd.v info Term.(const run_table1 $ seed_arg $ trials_arg 40)
+  Cmd.v info Term.(const run_table1 $ jobs_term $ seed_arg $ trials_arg 40)
 
 (* --- fig4 -------------------------------------------------------------- *)
 
@@ -97,18 +109,18 @@ let fig5_cmd =
 
 (* --- smarm -------------------------------------------------------------- *)
 
-let run_smarm seed trials =
-  print_string (Smarm_sweep.sweep_rounds ~blocks:64 ~max_rounds:14 ~game_trials:200000 ~seed);
+let run_smarm () seed trials =
+  print_string (Smarm_sweep.sweep_rounds ~blocks:64 ~max_rounds:14 ~game_trials:200000 ~seed ());
   print_newline ();
-  print_string (Smarm_sweep.sweep_blocks ~blocks_list:[ 4; 16; 64; 256; 1024 ] ~trials:200000 ~seed);
-  let escape, (lo, hi) = Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials ~seed in
+  print_string (Smarm_sweep.sweep_blocks ~blocks_list:[ 4; 16; 64; 256; 1024 ] ~trials:200000 ~seed ());
+  let escape, (lo, hi) = Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials ~seed () in
   Printf.printf
     "\nfull-device simulation, 1 round, B=64: escape %.3f (95%% CI %.3f-%.3f, theory %.3f)\n"
     escape lo hi (Ra_core.Smarm.per_round_escape_probability ~blocks:64)
 
 let smarm_cmd =
   let info = Cmd.info "smarm" ~doc:"Section 3.2: SMARM escape probabilities" in
-  Cmd.v info Term.(const run_smarm $ seed_arg $ trials_arg 200)
+  Cmd.v info Term.(const run_smarm $ jobs_term $ seed_arg $ trials_arg 200)
 
 (* --- fire alarm ---------------------------------------------------------- *)
 
@@ -120,7 +132,7 @@ let fire_cmd =
 
 (* --- ablations ------------------------------------------------------------ *)
 
-let run_ablations seed =
+let run_ablations () seed =
   print_string (Ablations.lock_granularity ~seed ());
   print_newline ();
   print_string (Ablations.measurement_order ~seed ());
@@ -135,7 +147,7 @@ let run_ablations seed =
 
 let ablations_cmd =
   let info = Cmd.info "ablations" ~doc:"Design-choice ablations" in
-  Cmd.v info Term.(const run_ablations $ seed_arg)
+  Cmd.v info Term.(const run_ablations $ jobs_term $ seed_arg)
 
 (* --- schedulability ------------------------------------------------------------------- *)
 
@@ -455,7 +467,7 @@ let swarm_cmd =
 
 (* --- chaos ------------------------------------------------------------------ *)
 
-let run_chaos seed trials =
+let run_chaos () seed trials =
   if trials < 1 then `Error (true, "--trials must be at least 1")
   else begin
     let summary = Chaos.run ~seed ~trials () in
@@ -470,26 +482,96 @@ let chaos_cmd =
      against every scheme, asserting recovery invariants"
   in
   let info = Cmd.info "chaos" ~doc in
-  Cmd.v info Term.(ret (const run_chaos $ seed_arg $ trials_arg 50))
+  Cmd.v info Term.(ret (const run_chaos $ jobs_term $ seed_arg $ trials_arg 50))
+
+(* --- bench ------------------------------------------------------------------ *)
+
+let run_bench () full out_dir against tolerance =
+  let quick = not full in
+  let suites =
+    [
+      ("BENCH_crypto.json",
+       { Benchkit.suite = "crypto"; metrics = Benchkit.crypto_metrics ~quick () });
+      ("BENCH_sim.json",
+       { Benchkit.suite = "sim"; metrics = Benchkit.sim_metrics ~quick () });
+    ]
+  in
+  (match out_dir with
+  | None ->
+    List.iter (fun (_, suite) -> print_string (Benchkit.to_json suite)) suites
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (file, suite) ->
+        let path = Filename.concat dir file in
+        Benchkit.write_file path suite;
+        Printf.printf "wrote %s\n" path)
+      suites);
+  match against with
+  | None -> `Ok ()
+  | Some dir ->
+    let ok =
+      List.for_all
+        (fun (file, current) ->
+          let path = Filename.concat dir file in
+          match Benchkit.read_file path with
+          | exception (Benchkit.Parse_error msg | Sys_error msg) ->
+            Printf.eprintf "bench: cannot read baseline %s: %s\n" path msg;
+            false
+          | baseline ->
+            Printf.printf "== %s vs %s\n" current.Benchkit.suite path;
+            let report, ok =
+              Benchkit.render_comparison ~tolerance
+                (Benchkit.compare_suites ~tolerance ~baseline ~current)
+            in
+            print_string report;
+            ok)
+        suites
+    in
+    if ok then `Ok () else `Error (false, "benchmark regression beyond tolerance")
+
+let bench_cmd =
+  let doc =
+    "Quick perf metrics (hash MB/s, engine events/s, experiment wall-times) \
+     as BENCH_*.json, optionally diffed against a committed baseline"
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-size buffers and budgets (slower, steadier).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR" ~doc:"Write BENCH_crypto.json and BENCH_sim.json to $(docv) instead of stdout.")
+  in
+  let against_arg =
+    Arg.(value & opt (some string) None
+         & info [ "against" ] ~docv:"DIR" ~doc:"Compare against the baseline BENCH_*.json files in $(docv); non-zero exit on regression.")
+  in
+  let tolerance_arg =
+    Arg.(value & opt float 0.2
+         & info [ "tolerance" ] ~docv:"T" ~doc:"Allowed fractional slowdown before a metric counts as regressed (0.2 = 20%).")
+  in
+  let info = Cmd.info "bench" ~doc in
+  Cmd.v info
+    Term.(ret (const run_bench $ jobs_term $ full_arg $ out_arg $ against_arg $ tolerance_arg))
 
 (* --- all -------------------------------------------------------------------- *)
 
-let run_all seed trials =
+let run_all () seed trials =
   ignore (run_fig1 seed "smart");
   print_newline ();
   run_fig2 ();
   print_newline ();
-  run_table1 seed trials;
+  run_table1 () seed trials;
   print_newline ();
   run_fig4 seed;
   print_newline ();
   run_fig5 seed trials;
   print_newline ();
-  run_smarm seed trials;
+  run_smarm () seed trials;
   print_newline ();
   run_fire seed;
   print_newline ();
-  run_ablations seed;
+  run_ablations () seed;
   print_newline ();
   run_seed_demo seed;
   print_newline ();
@@ -511,7 +593,7 @@ let run_all seed trials =
 
 let all_cmd =
   let info = Cmd.info "all" ~doc:"Run every experiment" in
-  Cmd.v info Term.(const run_all $ seed_arg $ trials_arg 40)
+  Cmd.v info Term.(const run_all $ jobs_term $ seed_arg $ trials_arg 40)
 
 let main =
   let doc = "Reproduction harness: RA vs safety-critical operation (DAC'18)" in
@@ -540,6 +622,7 @@ let main =
       heartbeat_cmd;
       fleet_cmd;
       chaos_cmd;
+      bench_cmd;
       all_cmd;
     ]
 

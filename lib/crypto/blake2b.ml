@@ -36,39 +36,48 @@ type ctx = {
 let rotr x n =
   Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
 
+(* Hot loop: the G-function indices are the fixed BLAKE2 constants and the
+   sigma rows only hold 0..15, so unsafe accesses into the 16-slot [m]/[v]
+   scratch are safe; Ra_crypto.Checked keeps the bounds-checked reference
+   that qcheck diffs against this. *)
 let compress ctx ~last =
   let open Int64 in
   let m = ctx.m and v = ctx.v in
   for i = 0 to 15 do
-    m.(i) <- Bytesutil.load64_le ctx.buf (8 * i)
+    Array.unsafe_set m i (Bytesutil.unsafe_load64_le ctx.buf (8 * i))
   done;
   for i = 0 to 7 do
-    v.(i) <- ctx.h.(i);
-    v.(i + 8) <- iv.(i)
+    Array.unsafe_set v i (Array.unsafe_get ctx.h i);
+    Array.unsafe_set v (i + 8) (Array.unsafe_get iv i)
   done;
   v.(12) <- logxor v.(12) (of_int ctx.t);
   (* high word of the counter is always zero for our input sizes *)
   if last then v.(14) <- lognot v.(14);
-  let g r i a b c d =
-    let s = sigma.(r mod 10) in
-    v.(a) <- add (add v.(a) v.(b)) m.(s.(2 * i));
-    v.(d) <- rotr (logxor v.(d) v.(a)) 32;
-    v.(c) <- add v.(c) v.(d);
-    v.(b) <- rotr (logxor v.(b) v.(c)) 24;
-    v.(a) <- add (add v.(a) v.(b)) m.(s.((2 * i) + 1));
-    v.(d) <- rotr (logxor v.(d) v.(a)) 16;
-    v.(c) <- add v.(c) v.(d);
-    v.(b) <- rotr (logxor v.(b) v.(c)) 63
+  let g a b c d m0 m1 =
+    let va = add (add (Array.unsafe_get v a) (Array.unsafe_get v b)) m0 in
+    let vd = rotr (logxor (Array.unsafe_get v d) va) 32 in
+    let vc = add (Array.unsafe_get v c) vd in
+    let vb = rotr (logxor (Array.unsafe_get v b) vc) 24 in
+    let va = add (add va vb) m1 in
+    let vd = rotr (logxor vd va) 16 in
+    let vc = add vc vd in
+    let vb = rotr (logxor vb vc) 63 in
+    Array.unsafe_set v a va;
+    Array.unsafe_set v b vb;
+    Array.unsafe_set v c vc;
+    Array.unsafe_set v d vd
   in
   for r = 0 to 11 do
-    g r 0 0 4 8 12;
-    g r 1 1 5 9 13;
-    g r 2 2 6 10 14;
-    g r 3 3 7 11 15;
-    g r 4 0 5 10 15;
-    g r 5 1 6 11 12;
-    g r 6 2 7 8 13;
-    g r 7 3 4 9 14
+    let s = Array.unsafe_get sigma (if r >= 10 then r - 10 else r) in
+    let mw i = Array.unsafe_get m (Array.unsafe_get s i) in
+    g 0 4 8 12 (mw 0) (mw 1);
+    g 1 5 9 13 (mw 2) (mw 3);
+    g 2 6 10 14 (mw 4) (mw 5);
+    g 3 7 11 15 (mw 6) (mw 7);
+    g 0 5 10 15 (mw 8) (mw 9);
+    g 1 6 11 12 (mw 10) (mw 11);
+    g 2 7 8 13 (mw 12) (mw 13);
+    g 3 4 9 14 (mw 14) (mw 15)
   done;
   for i = 0 to 7 do
     ctx.h.(i) <- logxor ctx.h.(i) (logxor v.(i) v.(i + 8))

@@ -36,38 +36,46 @@ let mask = 0xFFFFFFFF
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
+(* Hot loop: mirrors Blake2b.compress — fixed G-function indices and sigma
+   rows in 0..15 make the unsafe accesses into the 16-slot scratch arrays
+   safe; Ra_crypto.Checked keeps the bounds-checked reference. *)
 let compress ctx ~last =
   let m = ctx.m and v = ctx.v in
   for i = 0 to 15 do
-    m.(i) <- Bytesutil.load32_le ctx.buf (4 * i)
+    Array.unsafe_set m i (Bytesutil.unsafe_load32_le ctx.buf (4 * i))
   done;
   for i = 0 to 7 do
-    v.(i) <- ctx.h.(i);
-    v.(i + 8) <- iv.(i)
+    Array.unsafe_set v i (Array.unsafe_get ctx.h i);
+    Array.unsafe_set v (i + 8) (Array.unsafe_get iv i)
   done;
   v.(12) <- v.(12) lxor (ctx.t land mask);
   v.(13) <- v.(13) lxor ((ctx.t lsr 32) land mask);
   if last then v.(14) <- v.(14) lxor mask;
-  let g r i a b c d =
-    let s = sigma.(r) in
-    v.(a) <- (v.(a) + v.(b) + m.(s.(2 * i))) land mask;
-    v.(d) <- rotr (v.(d) lxor v.(a)) 16;
-    v.(c) <- (v.(c) + v.(d)) land mask;
-    v.(b) <- rotr (v.(b) lxor v.(c)) 12;
-    v.(a) <- (v.(a) + v.(b) + m.(s.((2 * i) + 1))) land mask;
-    v.(d) <- rotr (v.(d) lxor v.(a)) 8;
-    v.(c) <- (v.(c) + v.(d)) land mask;
-    v.(b) <- rotr (v.(b) lxor v.(c)) 7
+  let g a b c d m0 m1 =
+    let va = (Array.unsafe_get v a + Array.unsafe_get v b + m0) land mask in
+    let vd = rotr (Array.unsafe_get v d lxor va) 16 in
+    let vc = (Array.unsafe_get v c + vd) land mask in
+    let vb = rotr (Array.unsafe_get v b lxor vc) 12 in
+    let va = (va + vb + m1) land mask in
+    let vd = rotr (vd lxor va) 8 in
+    let vc = (vc + vd) land mask in
+    let vb = rotr (vb lxor vc) 7 in
+    Array.unsafe_set v a va;
+    Array.unsafe_set v b vb;
+    Array.unsafe_set v c vc;
+    Array.unsafe_set v d vd
   in
   for r = 0 to 9 do
-    g r 0 0 4 8 12;
-    g r 1 1 5 9 13;
-    g r 2 2 6 10 14;
-    g r 3 3 7 11 15;
-    g r 4 0 5 10 15;
-    g r 5 1 6 11 12;
-    g r 6 2 7 8 13;
-    g r 7 3 4 9 14
+    let s = Array.unsafe_get sigma r in
+    let mw i = Array.unsafe_get m (Array.unsafe_get s i) in
+    g 0 4 8 12 (mw 0) (mw 1);
+    g 1 5 9 13 (mw 2) (mw 3);
+    g 2 6 10 14 (mw 4) (mw 5);
+    g 3 7 11 15 (mw 6) (mw 7);
+    g 0 5 10 15 (mw 8) (mw 9);
+    g 1 6 11 12 (mw 10) (mw 11);
+    g 2 7 8 13 (mw 12) (mw 13);
+    g 3 4 9 14 (mw 14) (mw 15)
   done;
   for i = 0 to 7 do
     ctx.h.(i) <- ctx.h.(i) lxor v.(i) lxor v.(i + 8)

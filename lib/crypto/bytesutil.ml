@@ -49,11 +49,38 @@ let constant_time_equal a b =
     !acc = 0
   end
 
-let byte b i = Char.code (Bytes.unsafe_get b i)
+(* Word-at-a-time loads. The %caml_bytes_get32u/64u primitives compile to a
+   single (unaligned) memory access with no bounds check; the compress loops
+   of the hash functions only ever call them with offsets that the loop
+   structure already bounds, so the checked wrappers below stay the public
+   default while the [unsafe_] variants carry the hot paths. *)
+external get_32u : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external get_64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external swap32 : int32 -> int32 = "%bswap_int32"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+let mask32 = 0xFFFFFFFF
+
+let unsafe_load32_be b i =
+  let v = if Sys.big_endian then get_32u b i else swap32 (get_32u b i) in
+  Int32.to_int v land mask32
+
+let unsafe_load32_le b i =
+  let v = if Sys.big_endian then swap32 (get_32u b i) else get_32u b i in
+  Int32.to_int v land mask32
+
+let unsafe_load64_be b i =
+  if Sys.big_endian then get_64u b i else swap64 (get_64u b i)
+
+let unsafe_load64_le b i =
+  if Sys.big_endian then swap64 (get_64u b i) else get_64u b i
+
+let check_bounds name b i width =
+  if i < 0 || i + width > Bytes.length b then invalid_arg name
 
 let load32_be b i =
-  (byte b i lsl 24) lor (byte b (i + 1) lsl 16) lor (byte b (i + 2) lsl 8)
-  lor byte b (i + 3)
+  check_bounds "Bytesutil.load32_be" b i 4;
+  unsafe_load32_be b i
 
 let store32_be b i v =
   Bytes.unsafe_set b i (Char.unsafe_chr ((v lsr 24) land 0xff));
@@ -62,8 +89,8 @@ let store32_be b i v =
   Bytes.unsafe_set b (i + 3) (Char.unsafe_chr (v land 0xff))
 
 let load32_le b i =
-  byte b i lor (byte b (i + 1) lsl 8) lor (byte b (i + 2) lsl 16)
-  lor (byte b (i + 3) lsl 24)
+  check_bounds "Bytesutil.load32_le" b i 4;
+  unsafe_load32_le b i
 
 let store32_le b i v =
   Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff));
@@ -72,18 +99,16 @@ let store32_le b i v =
   Bytes.unsafe_set b (i + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
 let load64_be b i =
-  let hi = Int64.of_int (load32_be b i) in
-  let lo = Int64.of_int (load32_be b (i + 4)) in
-  Int64.logor (Int64.shift_left hi 32) lo
+  check_bounds "Bytesutil.load64_be" b i 8;
+  unsafe_load64_be b i
 
 let store64_be b i v =
   store32_be b i (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFFFFFF);
   store32_be b (i + 4) (Int64.to_int v land 0xFFFFFFFF)
 
 let load64_le b i =
-  let lo = Int64.of_int (load32_le b i) in
-  let hi = Int64.of_int (load32_le b (i + 4)) in
-  Int64.logor (Int64.shift_left hi 32) lo
+  check_bounds "Bytesutil.load64_le" b i 8;
+  unsafe_load64_le b i
 
 let store64_le b i v =
   store32_le b i (Int64.to_int v land 0xFFFFFFFF);

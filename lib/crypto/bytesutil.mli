@@ -15,7 +15,18 @@ val constant_time_equal : Bytes.t -> Bytes.t -> bool
     when comparing MACs. Unequal lengths return [false] immediately. *)
 
 val load32_be : Bytes.t -> int -> int
-(** Big-endian 32-bit load, result in [\[0, 2^32)]. *)
+(** Big-endian 32-bit load, result in [\[0, 2^32)]. Bounds-checked; raises
+    [Invalid_argument] when the 4-byte window does not fit. *)
+
+val unsafe_load32_be : Bytes.t -> int -> int
+(** Single-instruction load with {e no} bounds check. Only for call sites
+    where the index is statically bounded (the hash compress loops). *)
+
+val unsafe_load32_le : Bytes.t -> int -> int
+
+val unsafe_load64_be : Bytes.t -> int -> int64
+
+val unsafe_load64_le : Bytes.t -> int -> int64
 
 val store32_be : Bytes.t -> int -> int -> unit
 

@@ -43,49 +43,66 @@ let init () =
 
 let mask = 0xFFFFFFFF
 
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+(* Rotation trick for 64-bit hosts: with the 32-bit word duplicated into
+   bits 32..62, [rotr x n] is a single logical shift of the doubled word
+   ([(dup x) lsr n land mask]). Every rotation count used below is >= 2, so
+   the copy of bit 31 that falls off the 63-bit OCaml int (it would sit at
+   bit 63) is never part of the extracted window. *)
+let dup x = x lor (x lsl 32)
 
+(* Hot loop: indices into [w] and [k] are bounded by the loop structure
+   (16-word schedule expanded to 64), so unsafe accesses are safe here; the
+   byte loads run one word at a time via Bytesutil.unsafe_load32_be.
+   Ra_crypto.Checked keeps a straightforward bounds-checked implementation
+   that the qcheck suite diffs against this one. *)
 let compress ctx block pos =
   let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <- Bytesutil.load32_be block (pos + (4 * i))
+    Array.unsafe_set w i (Bytesutil.unsafe_load32_be block (pos + (4 * i)))
   done;
   for i = 16 to 63 do
-    let s0 =
-      rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3)
-    in
-    let s1 =
-      rotr w.(i - 2) 17 lxor rotr w.(i - 2) 19 lxor (w.(i - 2) lsr 10)
-    in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (i - 15) in
+    let w2 = Array.unsafe_get w (i - 2) in
+    let x15 = dup w15 and x2 = dup w2 in
+    let s0 = ((x15 lsr 7) lxor (x15 lsr 18) lxor (w15 lsr 3)) land mask in
+    let s1 = ((x2 lsr 17) lxor (x2 lsr 19) lxor (w2 lsr 10)) land mask in
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let h = ctx.h in
-  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-  for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = (!e land !f) lxor (lnot !e land !g) in
-    let temp1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-    let temp2 = (s0 + maj) land mask in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := (!d + temp1) land mask;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (temp1 + temp2) land mask
-  done;
-  h.(0) <- (h.(0) + !a) land mask;
-  h.(1) <- (h.(1) + !b) land mask;
-  h.(2) <- (h.(2) + !c) land mask;
-  h.(3) <- (h.(3) + !d) land mask;
-  h.(4) <- (h.(4) + !e) land mask;
-  h.(5) <- (h.(5) + !f) land mask;
-  h.(6) <- (h.(6) + !g) land mask;
-  h.(7) <- (h.(7) + !hh) land mask
+  (* The rounds run as a tail-recursive loop so the eight state words live
+     in registers and the a..h rotation is pure argument renaming instead
+     of eight memory writes per round. *)
+  let rec rounds i a b c d e f g hh =
+    if i = 64 then begin
+      h.(0) <- (h.(0) + a) land mask;
+      h.(1) <- (h.(1) + b) land mask;
+      h.(2) <- (h.(2) + c) land mask;
+      h.(3) <- (h.(3) + d) land mask;
+      h.(4) <- (h.(4) + e) land mask;
+      h.(5) <- (h.(5) + f) land mask;
+      h.(6) <- (h.(6) + g) land mask;
+      h.(7) <- (h.(7) + hh) land mask
+    end
+    else begin
+      let ee = dup e in
+      let s1 = ((ee lsr 6) lxor (ee lsr 11) lxor (ee lsr 25)) land mask in
+      let ch = (e land f) lxor (lnot e land g) in
+      let temp1 =
+        (hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+      in
+      let aa = dup a in
+      let s0 = ((aa lsr 2) lxor (aa lsr 13) lxor (aa lsr 22)) land mask in
+      let maj = (a land b) lxor (a land c) lxor (b land c) in
+      rounds (i + 1)
+        ((temp1 + s0 + maj) land mask)
+        a b c
+        ((d + temp1) land mask)
+        e f g
+    end
+  in
+  rounds 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
 
 let update ctx src ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length src then

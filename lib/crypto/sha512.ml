@@ -58,36 +58,46 @@ let init () =
 let rotr x n =
   Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
 
+(* Hot loop: all [w]/[k] indices are bounded by the loop structure, so
+   unsafe accesses are safe; Ra_crypto.Checked keeps the bounds-checked
+   reference that qcheck diffs against this. *)
 let compress ctx block pos =
   let open Int64 in
   let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <- Bytesutil.load64_be block (pos + (8 * i))
+    Array.unsafe_set w i (Bytesutil.unsafe_load64_be block (pos + (8 * i)))
   done;
   for i = 16 to 79 do
-    let x = w.(i - 15) in
+    let x = Array.unsafe_get w (i - 15) in
     let s0 = logxor (logxor (rotr x 1) (rotr x 8)) (shift_right_logical x 7) in
-    let y = w.(i - 2) in
+    let y = Array.unsafe_get w (i - 2) in
     let s1 = logxor (logxor (rotr y 19) (rotr y 61)) (shift_right_logical y 6) in
-    w.(i) <- add (add w.(i - 16) s0) (add w.(i - 7) s1)
+    Array.unsafe_set w i
+      (add
+         (add (Array.unsafe_get w (i - 16)) s0)
+         (add (Array.unsafe_get w (i - 7)) s1))
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 79 do
-    let s1 = logxor (logxor (rotr !e 14) (rotr !e 18)) (rotr !e 41) in
-    let ch = logxor (logand !e !f) (logand (lognot !e) !g) in
-    let temp1 = add (add !hh s1) (add ch (add k.(i) w.(i))) in
-    let s0 = logxor (logxor (rotr !a 28) (rotr !a 34)) (rotr !a 39) in
-    let maj = logxor (logxor (logand !a !b) (logand !a !c)) (logand !b !c) in
+    let e' = !e and a' = !a in
+    let s1 = logxor (logxor (rotr e' 14) (rotr e' 18)) (rotr e' 41) in
+    let ch = logxor (logand e' !f) (logand (lognot e') !g) in
+    let temp1 =
+      add (add !hh s1)
+        (add ch (add (Array.unsafe_get k i) (Array.unsafe_get w i)))
+    in
+    let s0 = logxor (logxor (rotr a' 28) (rotr a' 34)) (rotr a' 39) in
+    let maj = logxor (logxor (logand a' !b) (logand a' !c)) (logand !b !c) in
     let temp2 = add s0 maj in
     hh := !g;
     g := !f;
-    f := !e;
+    f := e';
     e := add !d temp1;
     d := !c;
     c := !b;
-    b := !a;
+    b := a';
     a := add temp1 temp2
   done;
   h.(0) <- add h.(0) !a;

@@ -42,48 +42,58 @@ let app_stall_probe ~seed ~blocks ~data_blocks ~scheme =
   ( Timebase.to_seconds (App.blocked_ns app),
     (if Stats.count stats = 0 then 0. else Stats.max_value stats) )
 
-let lock_granularity ?(seed = 9) () =
-  let rows =
+let lock_granularity ?jobs ?(seed = 9) () =
+  (* Each (blocks, scheme) cell builds its own device from [seed]; the
+     cells fan out on the pool. *)
+  let cells =
     List.concat_map
       (fun blocks ->
         List.map
-          (fun scheme ->
-            let stall, worst =
-              app_stall_probe ~seed ~blocks ~data_blocks:[ blocks - 1 ] ~scheme
-            in
-            [
-              string_of_int blocks;
-              scheme.Scheme.name;
-              Printf.sprintf "%.2f s" stall;
-              Printf.sprintf "%.3f s" worst;
-            ])
+          (fun scheme -> (blocks, scheme))
           [ Scheme.dec_lock; Scheme.inc_lock; Scheme.all_lock ])
       [ 16; 64; 256 ]
+  in
+  let rows =
+    Ra_parallel.parallel_list_map ?jobs
+      (fun (blocks, scheme) ->
+        let stall, worst =
+          app_stall_probe ~seed ~blocks ~data_blocks:[ blocks - 1 ] ~scheme
+        in
+        [
+          string_of_int blocks;
+          scheme.Scheme.name;
+          Printf.sprintf "%.2f s" stall;
+          Printf.sprintf "%.3f s" worst;
+        ])
+      cells
   in
   "Ablation — lock granularity (1 GiB attested; app writes the last block)\n"
   ^ Tablefmt.render
       ~header:[ "blocks"; "scheme"; "app write stall"; "worst app latency" ]
       rows
 
-let measurement_order ?(seed = 9) () =
+let measurement_order ?jobs ?(seed = 9) () =
   let blocks = 64 in
   let placements =
     [ ("hot data measured first", [ 0; 1; 2; 3 ]); ("hot data measured last", [ 60; 61; 62; 63 ]) ]
   in
-  let rows =
+  let cells =
     List.concat_map
-      (fun (label, data_blocks) ->
-        List.map
-          (fun scheme ->
-            let stall, worst = app_stall_probe ~seed ~blocks ~data_blocks ~scheme in
-            [
-              scheme.Scheme.name;
-              label;
-              Printf.sprintf "%.2f s" stall;
-              Printf.sprintf "%.3f s" worst;
-            ])
-          [ Scheme.dec_lock; Scheme.inc_lock ])
+      (fun placement ->
+        List.map (fun scheme -> (placement, scheme)) [ Scheme.dec_lock; Scheme.inc_lock ])
       placements
+  in
+  let rows =
+    Ra_parallel.parallel_list_map ?jobs
+      (fun ((label, data_blocks), scheme) ->
+        let stall, worst = app_stall_probe ~seed ~blocks ~data_blocks ~scheme in
+        [
+          scheme.Scheme.name;
+          label;
+          Printf.sprintf "%.2f s" stall;
+          Printf.sprintf "%.3f s" worst;
+        ])
+      cells
   in
   "Ablation — position of hot data in the (sequential) measurement order\n"
   ^ Tablefmt.render
@@ -91,10 +101,10 @@ let measurement_order ?(seed = 9) () =
       rows
   ^ "Section 3.1.2: Dec-Lock favours hot blocks first; Inc-Lock favours them last.\n"
 
-let smarm_block_count ?(seed = 13) ?(trials = 20000) () =
+let smarm_block_count ?jobs ?(seed = 13) ?(trials = 20000) () =
   let cost = Cost_model.odroid_xu4 in
   let rows =
-    List.map
+    Ra_parallel.parallel_list_map ?jobs
       (fun blocks ->
         let escape = Smarm.per_round_escape_probability ~blocks in
         let game = Smarm_sweep.game_escape_rate ~blocks ~rounds:1 ~trials ~seed in
@@ -170,7 +180,7 @@ let platform_contrast () =
   "Ablation — platform contrast (atomic MP duration = worst-case app blackout)\n"
   ^ Tablefmt.render ~header:[ "platform"; "operation"; "MP duration" ] rows
 
-let hybrid_schemes ?(seed = 17) ?(trials = 30) () =
+let hybrid_schemes ?jobs ?(seed = 17) ?(trials = 30) () =
   let hybrid name locking order =
     { Scheme.name; atomic = false; locking; order; zero_data = false }
   in
@@ -187,14 +197,14 @@ let hybrid_schemes ?(seed = 17) ?(trials = 30) () =
   let setup = { Runs.default_setup with Runs.seed } in
   let rate scheme behavior =
     let r, _ =
-      Runs.detection_rate setup ~scheme
+      Runs.detection_rate ?jobs setup ~scheme
         ~adversary:(Runs.Malicious { behavior; block = 40 })
         ~trials
     in
     r
   in
   let rows =
-    List.map
+    Ra_parallel.parallel_list_map ?jobs
       (fun scheme ->
         let rover = rate scheme (Ra_malware.Malware.Self_relocating Ra_malware.Malware.Uniform_hop) in
         let evasive = rate scheme Ra_malware.Malware.Evasive_erase in

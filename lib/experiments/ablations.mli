@@ -1,16 +1,16 @@
 (** Ablations over the design choices DESIGN.md calls out. *)
 
-val lock_granularity : ?seed:int -> unit -> string
+val lock_granularity : ?jobs:int -> ?seed:int -> unit -> string
 (** Block-count sweep (coarser vs finer locking) vs the application's write
     stall under Dec-Lock and Inc-Lock: finer granularity frees hot blocks
     sooner. *)
 
-val measurement_order : ?seed:int -> unit -> string
+val measurement_order : ?jobs:int -> ?seed:int -> unit -> string
 (** Where the application's hot data blocks sit in the (sequential)
     measurement order: Dec-Lock wants them measured first, Inc-Lock last —
     the ordering advice of Section 3.1.2. *)
 
-val smarm_block_count : ?seed:int -> ?trials:int -> unit -> string
+val smarm_block_count : ?jobs:int -> ?seed:int -> ?trials:int -> unit -> string
 (** SMARM per-round escape probability and per-round overhead as the block
     count B varies. *)
 
@@ -23,7 +23,7 @@ val platform_contrast : unit -> string
 (** The Section 2.5 tension on a low-end MCU instead of the ODROID: MP
     durations explode, making atomic attestation untenable. *)
 
-val hybrid_schemes : ?seed:int -> ?trials:int -> unit -> string
+val hybrid_schemes : ?jobs:int -> ?seed:int -> ?trials:int -> unit -> string
 (** The design space is a cross product the paper's Table 1 only samples:
     traversal order (sequential or shuffled) x locking. Measures detection
     of the uniform rover and the evasive eraser plus the app write stall

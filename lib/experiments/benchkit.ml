@@ -1,0 +1,431 @@
+(* Perf-regression toolkit: measure throughput/wall-time metrics, write them
+   as BENCH_*.json, and diff a run against a committed baseline. JSON is
+   hand-rolled (emitter and a small recursive-descent parser) because the
+   build pulls in no JSON dependency. *)
+
+type direction = Higher_is_better | Lower_is_better
+
+type metric = {
+  name : string;
+  value : float;
+  unit_ : string;
+  direction : direction;
+}
+
+type suite = { suite : string; metrics : metric list }
+
+(* --- measurement -------------------------------------------------------- *)
+
+(* Repeat [f] until [budget] seconds elapse (at least once); returns
+   (iterations, elapsed_seconds). *)
+let timed_loop ~budget f =
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < budget do
+    f ();
+    incr iters;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (!iters, !elapsed)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let throughput_metric ~name ~bytes ~budget f =
+  let iters, elapsed = timed_loop ~budget f in
+  {
+    name;
+    value = float_of_int (iters * bytes) /. elapsed /. 1e6;
+    unit_ = "MB/s";
+    direction = Higher_is_better;
+  }
+
+let seconds_metric ~name value =
+  { name; value; unit_ = "s"; direction = Lower_is_better }
+
+(* quick mode trims buffer sizes and timing budgets so `ratool bench` and
+   the CI smoke job finish in seconds; the shapes measured are the same *)
+let crypto_metrics ?(quick = false) () =
+  let budget = if quick then 0.15 else 1.0 in
+  let size = (if quick then 1 else 4) * 1024 * 1024 in
+  let buffer = Ra_sim.Prng.bytes (Ra_sim.Prng.create ~seed:1) size in
+  let hash name digest =
+    throughput_metric ~name ~bytes:size ~budget (fun () -> ignore (digest buffer))
+  in
+  [
+    hash "sha256_mb_s" Ra_crypto.Sha256.digest;
+    hash "sha512_mb_s" Ra_crypto.Sha512.digest;
+    hash "blake2b_mb_s" Ra_crypto.Blake2b.digest;
+    hash "blake2s_mb_s" Ra_crypto.Blake2s.digest;
+    (let key = Bytes.of_string "bench-key" in
+     throughput_metric ~name:"hmac_sha256_mb_s" ~bytes:size ~budget (fun () ->
+         ignore (Ra_crypto.Hmac.Sha256.mac ~key buffer)));
+  ]
+
+let engine_events_metric ~budget =
+  let events_per_iter = 10_000 in
+  let iters, elapsed =
+    timed_loop ~budget (fun () ->
+        let eng = Ra_sim.Engine.create () in
+        for i = 1 to events_per_iter do
+          ignore (Ra_sim.Engine.schedule eng ~at:i (fun _ -> ()))
+        done;
+        Ra_sim.Engine.run eng)
+  in
+  {
+    name = "engine_events_s";
+    value = float_of_int (iters * events_per_iter) /. elapsed;
+    unit_ = "events/s";
+    direction = Higher_is_better;
+  }
+
+let sim_metrics ?(quick = false) ?jobs () =
+  let budget = if quick then 0.15 else 1.0 in
+  let table1_trials = if quick then 2 else 10 in
+  let chaos_trials = if quick then 7 else 21 in
+  let game_trials = if quick then 50_000 else 500_000 in
+  let _, table1_s =
+    wall (fun () -> Table1.compute ?jobs ~trials:table1_trials ~seed:5 ())
+  in
+  let _, chaos_s = wall (fun () -> Chaos.run ?jobs ~trials:chaos_trials ()) in
+  let _, game_s =
+    wall (fun () ->
+        Smarm_sweep.game_escape_rate ~blocks:64 ~rounds:3 ~trials:game_trials
+          ~seed:7)
+  in
+  let _, detection_s =
+    wall (fun () ->
+        Runs.detection_rate ?jobs Runs.default_setup ~scheme:Ra_core.Scheme.smart
+          ~adversary:
+            (Runs.Malicious { behavior = Ra_malware.Malware.Static; block = 40 })
+          ~trials:(if quick then 6 else 24))
+  in
+  [
+    engine_events_metric ~budget;
+    seconds_metric ~name:"table1_wall_s" table1_s;
+    seconds_metric ~name:"chaos_wall_s" chaos_s;
+    seconds_metric ~name:"smarm_game_wall_s" game_s;
+    seconds_metric ~name:"detection_rate_wall_s" detection_s;
+  ]
+
+(* --- JSON emit ----------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json { suite; metrics } =
+  let metric m =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", \
+       \"higher_is_better\": %b}"
+      (escape_string m.name) m.value (escape_string m.unit_)
+      (m.direction = Higher_is_better)
+  in
+  Printf.sprintf
+    "{\n  \"schema\": \"ra-bench/1\",\n  \"suite\": \"%s\",\n  \"metrics\": [\n%s\n  ]\n}\n"
+    (escape_string suite)
+    (String.concat ",\n" (List.map metric metrics))
+
+let write_file path suite =
+  let oc = open_out path in
+  output_string oc (to_json suite);
+  close_out oc
+
+(* --- JSON parse ---------------------------------------------------------- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_number of float
+  | J_string of string
+  | J_array of json list
+  | J_object of (string * json) list
+
+exception Parse_error of string
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("bad literal, expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= len then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= len then fail "unterminated escape";
+        let e = text.[!pos] in
+        advance ();
+        match e with
+        | '"' | '\\' | '/' ->
+          Buffer.add_char buf e;
+          loop ()
+        | 'n' ->
+          Buffer.add_char buf '\n';
+          loop ()
+        | 't' ->
+          Buffer.add_char buf '\t';
+          loop ()
+        | 'r' ->
+          Buffer.add_char buf '\r';
+          loop ()
+        | 'b' ->
+          Buffer.add_char buf '\b';
+          loop ()
+        | 'u' ->
+          if !pos + 4 > len then fail "short unicode escape";
+          let code = int_of_string ("0x" ^ String.sub text !pos 4) in
+          pos := !pos + 4;
+          (* ASCII-range escapes only: enough for our own emitter's output *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?';
+          loop ()
+        | _ -> fail "unknown escape")
+      | c ->
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char text.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_string (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_object []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J_object (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_array []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J_array (items [])
+      end
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_number (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let suite_of_json json =
+  let assoc key fields =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> raise (Parse_error ("missing field " ^ key))
+  in
+  match json with
+  | J_object fields ->
+    let suite =
+      match assoc "suite" fields with
+      | J_string s -> s
+      | _ -> raise (Parse_error "suite must be a string")
+    in
+    let metrics =
+      match assoc "metrics" fields with
+      | J_array items ->
+        List.map
+          (function
+            | J_object m ->
+              let name =
+                match assoc "name" m with
+                | J_string s -> s
+                | _ -> raise (Parse_error "metric name must be a string")
+              in
+              let value =
+                match assoc "value" m with
+                | J_number f -> f
+                | _ -> raise (Parse_error "metric value must be a number")
+              in
+              let unit_ =
+                match assoc "unit" m with
+                | J_string s -> s
+                | _ -> raise (Parse_error "metric unit must be a string")
+              in
+              let direction =
+                match assoc "higher_is_better" m with
+                | J_bool true -> Higher_is_better
+                | J_bool false -> Lower_is_better
+                | _ -> raise (Parse_error "higher_is_better must be a bool")
+              in
+              { name; value; unit_; direction }
+            | _ -> raise (Parse_error "metric must be an object"))
+          items
+      | _ -> raise (Parse_error "metrics must be an array")
+    in
+    { suite; metrics }
+  | _ -> raise (Parse_error "top level must be an object")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  suite_of_json (parse_json s)
+
+(* --- comparison ---------------------------------------------------------- *)
+
+type verdict = Ok_within_tolerance | Regression | Missing_in_current
+
+type comparison = {
+  metric : string;
+  baseline : float;
+  current : float option;
+  ratio : float option; (* current / baseline *)
+  verdict : verdict;
+}
+
+let compare_suites ~tolerance ~baseline ~current =
+  List.map
+    (fun base ->
+      match
+        List.find_opt (fun m -> m.name = base.name) current.metrics
+      with
+      | None ->
+        {
+          metric = base.name;
+          baseline = base.value;
+          current = None;
+          ratio = None;
+          verdict = Missing_in_current;
+        }
+      | Some cur ->
+        let ratio = cur.value /. base.value in
+        let regressed =
+          match base.direction with
+          | Higher_is_better -> ratio < 1. -. tolerance
+          | Lower_is_better -> ratio > 1. +. tolerance
+        in
+        {
+          metric = base.name;
+          baseline = base.value;
+          current = Some cur.value;
+          ratio = Some ratio;
+          verdict = (if regressed then Regression else Ok_within_tolerance);
+        })
+    baseline.metrics
+
+let render_comparison ~tolerance comparisons =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+      match (c.current, c.ratio, c.verdict) with
+      | Some cur, Some ratio, verdict ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-26s baseline %12.4g  current %12.4g  (%+.1f%%)%s\n"
+             c.metric c.baseline cur
+             ((ratio -. 1.) *. 100.)
+             (if verdict = Regression then "  REGRESSION" else ""))
+      | _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-26s baseline %12.4g  MISSING in current run\n"
+             c.metric c.baseline))
+    comparisons;
+  let failures =
+    List.filter (fun c -> c.verdict <> Ok_within_tolerance) comparisons
+  in
+  Buffer.add_string buf
+    (if failures = [] then
+       Printf.sprintf "all %d metrics within %.0f%% of baseline\n"
+         (List.length comparisons) (tolerance *. 100.)
+     else
+       Printf.sprintf "%d of %d metrics regressed beyond %.0f%%\n"
+         (List.length failures) (List.length comparisons) (tolerance *. 100.));
+  (Buffer.contents buf, failures = [])

@@ -1,0 +1,58 @@
+(** Perf-regression toolkit behind [BENCH_crypto.json] / [BENCH_sim.json]:
+    quick throughput and wall-time metrics, a dependency-free JSON round
+    trip, and baseline comparison with a tolerance gate.
+
+    The committed baselines are measured on one machine and compared on
+    another in CI, so the compare tolerance is the knob that separates
+    "regression" from "different host" — see [bench/compare.ml]. *)
+
+type direction = Higher_is_better | Lower_is_better
+
+type metric = {
+  name : string;
+  value : float;
+  unit_ : string;
+  direction : direction;
+}
+
+type suite = { suite : string; metrics : metric list }
+
+val crypto_metrics : ?quick:bool -> unit -> metric list
+(** MB/s of the four hashes plus HMAC-SHA-256 over a pseudo-random buffer.
+    [quick] shrinks the buffer and timing budget for smoke runs. *)
+
+val sim_metrics : ?quick:bool -> ?jobs:int -> unit -> metric list
+(** Engine events/s plus wall-times of the Table 1, chaos, SMARM-game and
+    detection-rate drivers ([jobs] is forwarded to the parallel ports). *)
+
+val to_json : suite -> string
+
+val write_file : string -> suite -> unit
+
+exception Parse_error of string
+
+val read_file : string -> suite
+(** Parse a file written by {!write_file}. Raises {!Parse_error} (or
+    [Sys_error]) on malformed input. *)
+
+type verdict = Ok_within_tolerance | Regression | Missing_in_current
+
+type comparison = {
+  metric : string;
+  baseline : float;
+  current : float option;
+  ratio : float option;  (** current / baseline *)
+  verdict : verdict;
+}
+
+val compare_suites :
+  tolerance:float -> baseline:suite -> current:suite -> comparison list
+(** One entry per baseline metric. A metric regresses when it moves against
+    its direction by more than [tolerance] (e.g. 0.2 = 20%). Metrics only
+    present in the current run are ignored; metrics missing from the
+    current run are verdicted {!Missing_in_current}. *)
+
+val render_comparison :
+  tolerance:float -> comparison list -> string * bool
+(** Human-readable table plus [true] iff every verdict is
+    {!Ok_within_tolerance}. *)

@@ -292,24 +292,36 @@ let rp_schemes =
 
 let profiles = [| Faults.Network_only; Faults.With_partition; Faults.With_crash |]
 
-let run ?(seed = 42) ~trials () =
+let run ?jobs ?(seed = 42) ~trials () =
   if trials < 1 then invalid_arg "Chaos.run: trials < 1";
   let master = Prng.create ~seed in
+  (* Draw every trial's generator and seed from the master in trial order,
+     before any fan-out, so trial i's randomness does not depend on how
+     trials interleave across domains. *)
+  let draws =
+    let a = Array.make trials (Prng.create ~seed:0, 0) in
+    for i = 0 to trials - 1 do
+      let rng = Prng.split master in
+      let trial_seed = 1 + Prng.int master ~bound:0x3FFFFFFF in
+      a.(i) <- (rng, trial_seed)
+    done;
+    a
+  in
   let outcomes =
-    List.init trials (fun i ->
-        let rng = Prng.split master in
-        let trial_seed = 1 + Prng.int master ~bound:0x3FFFFFFF in
-        let profile = profiles.(i mod Array.length profiles) in
-        let outcome =
-          match i mod 7 with
-          | 0 | 1 | 2 | 3 ->
-            let scheme_name, scheme = List.nth rp_schemes (i mod 7) in
-            run_reliable ~trial_seed ~scheme ~scheme_name ~profile rng
-          | 4 -> run_erasmus ~trial_seed ~persistent:(i mod 2 = 0) rng
-          | 5 -> run_seed ~trial_seed ~profile rng
-          | _ -> run_swarm ~trial_seed rng
-        in
-        { outcome with trial = i })
+    Array.to_list
+      (Ra_parallel.parallel_init ?jobs trials (fun i ->
+           let rng, trial_seed = draws.(i) in
+           let profile = profiles.(i mod Array.length profiles) in
+           let outcome =
+             match i mod 7 with
+             | 0 | 1 | 2 | 3 ->
+               let scheme_name, scheme = List.nth rp_schemes (i mod 7) in
+               run_reliable ~trial_seed ~scheme ~scheme_name ~profile rng
+             | 4 -> run_erasmus ~trial_seed ~persistent:(i mod 2 = 0) rng
+             | 5 -> run_seed ~trial_seed ~profile rng
+             | _ -> run_swarm ~trial_seed rng
+           in
+           { outcome with trial = i }))
   in
   let violations =
     List.concat_map
@@ -321,7 +333,7 @@ let run ?(seed = 42) ~trials () =
       outcomes
   in
   let baselines =
-    List.map
+    Ra_parallel.parallel_list_map ?jobs
       (fun (name, scheme) -> baseline ~seed ~scheme ~scheme_name:name)
       rp_schemes
   in

@@ -31,7 +31,10 @@ type summary = {
       (** fault-free completion seconds per on-demand scheme *)
 }
 
-val run : ?seed:int -> trials:int -> unit -> summary
+val run : ?jobs:int -> ?seed:int -> trials:int -> unit -> summary
+(** Trials fan out on the {!Ra_parallel} pool; each trial's fault plan is
+    drawn from the master generator in trial order before the fan-out, so
+    the summary is identical for every [jobs] value. *)
 
 val render : summary -> string
 (** Recovery-latency table (ideal vs under faults) plus the verdict line,

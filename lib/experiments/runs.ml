@@ -167,12 +167,15 @@ let run setup ~scheme ~adversary =
     device;
   }
 
-let detection_rate setup ~scheme ~adversary ~trials =
+let detection_rate ?jobs setup ~scheme ~adversary ~trials =
   if trials < 1 then invalid_arg "Runs.detection_rate: trials < 1";
-  let detected = ref 0 in
-  for trial = 0 to trials - 1 do
-    let outcome = run { setup with seed = setup.seed + (1000 * trial) } ~scheme ~adversary in
-    if outcome.detected then incr detected
-  done;
-  let rate = float_of_int !detected /. float_of_int trials in
-  (rate, Stats.binomial_confidence ~successes:!detected ~trials)
+  (* Each trial derives everything from its own seed, so the fan-out is
+     bit-identical to the sequential loop regardless of [jobs]. *)
+  let detections =
+    Ra_parallel.parallel_init ?jobs trials (fun trial ->
+        (run { setup with seed = setup.seed + (1000 * trial) } ~scheme ~adversary)
+          .detected)
+  in
+  let detected = Array.fold_left (fun n d -> if d then n + 1 else n) 0 detections in
+  let rate = float_of_int detected /. float_of_int trials in
+  (rate, Stats.binomial_confidence ~successes:detected ~trials)

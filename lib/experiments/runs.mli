@@ -52,6 +52,13 @@ val run : setup -> scheme:Scheme.t -> adversary:adversary -> outcome
     each report, and drain the engine. Deterministic in [setup.seed]. *)
 
 val detection_rate :
-  setup -> scheme:Scheme.t -> adversary:adversary -> trials:int -> float * (float * float)
+  ?jobs:int ->
+  setup ->
+  scheme:Scheme.t ->
+  adversary:adversary ->
+  trials:int ->
+  float * (float * float)
 (** Fraction of [trials] independent seeds whose {!outcome.detected} is
-    true, with a 95% Wilson interval. *)
+    true, with a 95% Wilson interval. Trials run on the {!Ra_parallel}
+    pool ([jobs] defaults to {!Ra_parallel.default_jobs}); each trial seeds
+    its own device, so the result is independent of [jobs]. *)

@@ -25,7 +25,7 @@ let game_escape_rate ~blocks ~rounds ~trials ~seed =
   done;
   float_of_int !escaped /. float_of_int trials
 
-let simulated_escape_rate ~blocks ~rounds ~trials ~seed =
+let simulated_escape_rate ?jobs ~blocks ~rounds ~trials ~seed () =
   let setup =
     {
       Runs.default_setup with
@@ -43,14 +43,18 @@ let simulated_escape_rate ~blocks ~rounds ~trials ~seed =
         block = blocks / 2;
       }
   in
-  let rate, interval = Runs.detection_rate setup ~scheme:Scheme.smarm ~adversary ~trials in
+  let rate, interval =
+    Runs.detection_rate ?jobs setup ~scheme:Scheme.smarm ~adversary ~trials
+  in
   let lo, hi = interval in
   (1. -. rate, (1. -. hi, 1. -. lo))
 
-let sweep_rounds ~blocks ~max_rounds ~game_trials ~seed =
+let sweep_rounds ?jobs ~blocks ~max_rounds ~game_trials ~seed () =
+  (* Each sweep point replays the game from [seed], so the rows are
+     independent and fan out on the pool. *)
   let rows =
-    List.init max_rounds (fun i ->
-        let k = i + 1 in
+    Ra_parallel.parallel_list_map ?jobs
+      (fun k ->
         let theory = Smarm.escape_probability ~blocks ~rounds:k in
         let game = game_escape_rate ~blocks ~rounds:k ~trials:game_trials ~seed in
         [
@@ -59,6 +63,7 @@ let sweep_rounds ~blocks ~max_rounds ~game_trials ~seed =
           Printf.sprintf "%.3e" game;
           Printf.sprintf "%.3e" (exp (-.float_of_int k));
         ])
+      (List.init max_rounds (fun i -> i + 1))
   in
   let target = 1e-6 in
   Tablefmt.render
@@ -68,9 +73,9 @@ let sweep_rounds ~blocks ~max_rounds ~game_trials ~seed =
       blocks
       (Smarm.rounds_for_target ~blocks ~target)
 
-let sweep_blocks ~blocks_list ~trials ~seed =
+let sweep_blocks ?jobs ~blocks_list ~trials ~seed () =
   let rows =
-    List.map
+    Ra_parallel.parallel_list_map ?jobs
       (fun blocks ->
         [
           string_of_int blocks;

@@ -11,16 +11,30 @@ val game_escape_rate :
     the one measured. Exactly the model behind [(1 - 1/B)^B]. *)
 
 val simulated_escape_rate :
-  blocks:int -> rounds:int -> trials:int -> seed:int -> float * (float * float)
+  ?jobs:int ->
+  blocks:int ->
+  rounds:int ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  float * (float * float)
 (** Full-stack estimate via {!Runs.run} with a [Uniform_hop] adversary:
     escape = every round's report verified clean. Includes a 95% Wilson
-    interval. *)
+    interval. Trials fan out on the {!Ra_parallel} pool. *)
 
 val sweep_rounds :
-  blocks:int -> max_rounds:int -> game_trials:int -> seed:int -> string
+  ?jobs:int ->
+  blocks:int ->
+  max_rounds:int ->
+  game_trials:int ->
+  seed:int ->
+  unit ->
+  string
 (** Table: rounds vs theoretical escape, abstract-game estimate, and the
-    e^-k approximation; plus the rounds needed for the paper's 1e-6 target. *)
+    e^-k approximation; plus the rounds needed for the paper's 1e-6 target.
+    Sweep points run in parallel, each replaying the game from [seed]. *)
 
-val sweep_blocks : blocks_list:int list -> trials:int -> seed:int -> string
+val sweep_blocks :
+  ?jobs:int -> blocks_list:int list -> trials:int -> seed:int -> unit -> string
 (** Per-round escape vs block count B, theory against the abstract game —
     showing convergence to e^-1 ~ 0.3679. *)

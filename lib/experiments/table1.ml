@@ -124,15 +124,15 @@ let erasmus_app_probe ~seed =
   ( Timebase.to_seconds (App.blocked_ns app),
     (if Stats.count stats = 0 then 0. else Stats.max_value stats) )
 
-let scheme_row ~trials ~seed scheme =
+let scheme_row ?jobs ~trials ~seed scheme =
   let setup = { Runs.default_setup with Runs.seed } in
   let rounds = match scheme.Scheme.order with Scheme.Shuffled -> 13 | Scheme.Sequential -> 1 in
   let self_rate, _ =
-    Runs.detection_rate { setup with Runs.rounds } ~scheme
+    Runs.detection_rate ?jobs { setup with Runs.rounds } ~scheme
       ~adversary:(self_reloc_adversary scheme) ~trials
   in
   let transient_rate, _ =
-    Runs.detection_rate setup ~scheme ~adversary:transient_adversary ~trials
+    Runs.detection_rate ?jobs setup ~scheme ~adversary:transient_adversary ~trials
   in
   let probe = Fire_alarm.run_scheme ~seed scheme in
   let consistency = Fig4.run_scheme ~seed scheme in
@@ -176,14 +176,21 @@ let erasmus_row ~seed =
     overhead_note = "none on demand (measurements amortised)";
   }
 
-let compute ?(trials = 40) ?(seed = 5) () =
-  List.map (fun s -> scheme_row ~trials ~seed s) Scheme.all_with_extensions
-  @ [ erasmus_row ~seed ]
+(* Rows are independent — each builds its devices from [seed] alone — so
+   they fan out across the pool; the per-row trial loops then degrade to
+   sequential inside pool tasks. *)
+let compute ?jobs ?(trials = 40) ?(seed = 5) () =
+  let schemes = Array.of_list Scheme.all_with_extensions in
+  let n = Array.length schemes in
+  Array.to_list
+    (Ra_parallel.parallel_init ?jobs (n + 1) (fun i ->
+         if i < n then scheme_row ?jobs ~trials ~seed schemes.(i)
+         else erasmus_row ~seed))
 
 let mark b = if b then "yes" else "no"
 
-let render ?trials ?seed () =
-  let rows = compute ?trials ?seed () in
+let render ?jobs ?trials ?seed () =
+  let rows = compute ?jobs ?trials ?seed () in
   let cells =
     List.map
       (fun r ->

@@ -24,11 +24,13 @@ type row = {
   overhead_note : string;
 }
 
-val compute : ?trials:int -> ?seed:int -> unit -> row list
+val compute : ?jobs:int -> ?trials:int -> ?seed:int -> unit -> row list
 (** SMART, No-Lock, All-Lock, Dec-Lock, Inc-Lock, SMARM (13 rounds for the
-    detection column), and ERASMUS self-measurement. Default 40 trials. *)
+    detection column), and ERASMUS self-measurement. Default 40 trials.
+    Rows fan out on the {!Ra_parallel} pool; the result is byte-for-byte
+    identical for every [jobs] value. *)
 
-val render : ?trials:int -> ?seed:int -> unit -> string
+val render : ?jobs:int -> ?trials:int -> ?seed:int -> unit -> string
 
 val paper_expectations : (string * bool * bool) list
 (** (scheme, detects self-relocating, detects transient) as printed in

@@ -1,0 +1,215 @@
+(* Fixed domain pool with deterministic, index-ordered results.
+
+   Scheduling is a single atomic work counter: every participating domain
+   (the submitting caller plus the pool workers) claims the next unclaimed
+   index and writes its result into that index's slot. Which domain runs
+   which index varies run to run; what each index computes, and where it
+   lands, does not — that is the whole determinism contract. *)
+
+type batch = {
+  n : int;
+  body : int -> unit; (* runs index i, stores its own result *)
+  next : int Atomic.t; (* next index to claim *)
+  unfinished : int Atomic.t; (* indices not yet completed *)
+  slots : int Atomic.t; (* how many more workers may join *)
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled when a batch is posted / shutdown *)
+  finished : Condition.t; (* signalled when a batch fully completes *)
+  mutable current : batch option;
+  mutable generation : int; (* bumps per batch so workers skip stale ones *)
+  mutable workers : int; (* domains spawned so far *)
+  mutable shutdown : bool;
+  mutable handles : unit Domain.t list;
+}
+
+let max_workers = 62 (* stdlib cap on live domains is 64ish; stay clear *)
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    current = None;
+    generation = 0;
+    workers = 0;
+    shutdown = false;
+    handles = [];
+  }
+
+let overridden_jobs = Atomic.make 0 (* 0 = no override *)
+
+let env_jobs () =
+  match Sys.getenv_opt "RA_JOBS" with
+  | None -> None
+  | Some s -> (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+
+let default_jobs () =
+  match Atomic.get overridden_jobs with
+  | n when n >= 1 -> n
+  | _ ->
+    (match env_jobs () with
+    | Some n -> min n (max_workers + 1)
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+let set_default_jobs n = Atomic.set overridden_jobs (max 1 n)
+
+(* Set while the current domain is executing a task body, so nested
+   parallel_* calls degrade to sequential instead of deadlocking a worker
+   on its own pool. *)
+let inside_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let running_inside_task () = Domain.DLS.get inside_task
+
+let run_task body i =
+  Domain.DLS.set inside_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_task false) (fun () ->
+      body i)
+
+(* Claim and run indices until the batch is drained. Returns with the
+   caller having contributed zero or more completed tasks. *)
+let drain b =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i >= b.n then continue := false
+    else begin
+      run_task b.body i;
+      if Atomic.fetch_and_add b.unfinished (-1) = 1 then begin
+        (* last task: wake the submitter *)
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.finished;
+        Mutex.unlock pool.mutex
+      end
+    end
+  done
+
+let worker () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while
+      (not pool.shutdown)
+      && (pool.current = None || pool.generation = !seen)
+    do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.shutdown then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.generation;
+      let b = Option.get pool.current in
+      Mutex.unlock pool.mutex;
+      (* respect the batch's jobs cap *)
+      if Atomic.fetch_and_add b.slots (-1) > 0 then drain b
+    end
+  done
+
+let shutdown_pool () =
+  Mutex.lock pool.mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work;
+  let handles = pool.handles in
+  pool.handles <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join handles
+
+let () = at_exit shutdown_pool
+
+(* Under the pool mutex: make sure at least [wanted] workers exist. *)
+let ensure_workers wanted =
+  let wanted = min wanted max_workers in
+  while pool.workers < wanted && not pool.shutdown do
+    pool.workers <- pool.workers + 1;
+    pool.handles <- Domain.spawn worker :: pool.handles
+  done
+
+exception Task_error of int * exn * Printexc.raw_backtrace
+
+let run_batch ~jobs n body =
+  let first_error = Atomic.make None in
+  let guarded i =
+    try body i
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* keep the lowest-index error so failure reporting is deterministic *)
+      let rec record () =
+        match Atomic.get first_error with
+        | Some (j, _, _) when j <= i -> ()
+        | prev ->
+          if not (Atomic.compare_and_set first_error prev (Some (i, e, bt)))
+          then record ()
+      in
+      record ()
+  in
+  let b =
+    {
+      n;
+      body = guarded;
+      next = Atomic.make 0;
+      unfinished = Atomic.make n;
+      slots = Atomic.make (jobs - 1);
+    }
+  in
+  Mutex.lock pool.mutex;
+  ensure_workers (jobs - 1);
+  pool.current <- Some b;
+  pool.generation <- pool.generation + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  drain b;
+  Mutex.lock pool.mutex;
+  while Atomic.get b.unfinished > 0 do
+    Condition.wait pool.finished pool.mutex
+  done;
+  pool.current <- None;
+  Mutex.unlock pool.mutex;
+  match Atomic.get first_error with
+  | Some (i, e, bt) -> raise (Task_error (i, e, bt))
+  | None -> ()
+
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Ra_parallel.parallel_init: negative length";
+  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  if jobs = 1 || n <= 1 || running_inside_task () then Array.init n f
+  else begin
+    let out = Array.make n None in
+    (try run_batch ~jobs n (fun i -> out.(i) <- Some (f i))
+     with Task_error (_, e, bt) -> Printexc.raise_with_backtrace e bt);
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index < n was claimed exactly once *))
+      out
+  end
+
+let parallel_map ?jobs f a =
+  parallel_init ?jobs (Array.length a) (fun i -> f a.(i))
+
+let parallel_list_map ?jobs f l =
+  Array.to_list (parallel_map ?jobs f (Array.of_list l))
+
+let seeded_init ?jobs ~seed n f =
+  if n < 0 then invalid_arg "Ra_parallel.seeded_init: negative length";
+  let root = Ra_sim.Prng.create ~seed in
+  (* split in ascending index order, before any fan-out: stream i is a pure
+     function of (seed, i), whatever the interleaving. An explicit loop
+     because Array.init's evaluation order is unspecified. *)
+  let prngs =
+    if n = 0 then [||]
+    else begin
+      let a = Array.make n (Ra_sim.Prng.split root) in
+      for i = 1 to n - 1 do
+        a.(i) <- Ra_sim.Prng.split root
+      done;
+      a
+    end
+  in
+  parallel_init ?jobs n (fun i -> f prngs.(i) i)

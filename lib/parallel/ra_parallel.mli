@@ -1,0 +1,49 @@
+(** Deterministic fan-out over a fixed pool of OCaml 5 domains.
+
+    The experiment drivers in this repository are embarrassingly parallel:
+    Monte-Carlo trials, table rows and sweep points each derive everything
+    they need from their own index. This module runs such index-addressed
+    workloads across a domain pool while keeping the output {e bit-identical
+    to the sequential run}, by construction:
+
+    - results land in an array slot chosen by task index, never by
+      completion order;
+    - any randomness is derived {e before} the fan-out: {!seeded_init}
+      splits one root {!Ra_sim.Prng} sequentially, so stream [i] does not
+      depend on how indices are interleaved across domains;
+    - nested calls from inside a task degrade to sequential execution, so a
+      parallel driver can freely call another parallel driver.
+
+    The pool is created lazily and grows to the largest [jobs] ever
+    requested. Concurrency defaults to the [RA_JOBS] environment variable
+    when set, else to [Domain.recommended_domain_count ()]; [RA_JOBS=1] (or
+    [~jobs:1], or the [--jobs 1] flag on [ratool]) is the escape hatch that
+    forces everything sequential. *)
+
+val default_jobs : unit -> int
+(** Current default concurrency: the last {!set_default_jobs} value, else
+    [RA_JOBS], else [Domain.recommended_domain_count ()]. At least 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the default for subsequent calls (the [--jobs] flag). Values
+    below 1 are clamped to 1. *)
+
+val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init n f] is [Array.init n f] computed on the pool.
+    [f] must be safe to call from any domain; each index is evaluated
+    exactly once. Exceptions re-raise in the caller (lowest index wins). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!List.map}, preserving order. *)
+
+val seeded_init :
+  ?jobs:int -> seed:int -> int -> (Ra_sim.Prng.t -> int -> 'a) -> 'a array
+(** [seeded_init ~seed n f] gives task [i] its own generator, split from a
+    root seeded with [seed] before the fan-out. The generator handed to
+    task [i] is a pure function of [(seed, i)], independent of [jobs]. *)
+
+val running_inside_task : unit -> bool
+(** True while the calling domain is executing a pool task (used by the
+    drivers to decide that an inner fan-out should stay sequential). *)

@@ -1,14 +1,21 @@
 type event_id = int
 
+(* The heap payload carries its own cancellation flag; [tracked] indexes the
+   queued-and-live events by id. An entry leaves [tracked] exactly when it
+   is cancelled or popped, so the table never outgrows the queue — cancelling
+   an id that already fired (or was never issued) is a no-op rather than a
+   permanent tombstone and a corrupted [live] counter. *)
 type t = {
   mutable clock : Timebase.t;
   mutable next_seq : int;
   mutable live : int;
-  queue : (t -> unit) Heap.t;
-  cancelled : (event_id, unit) Hashtbl.t;
+  queue : cell Heap.t;
+  tracked : (event_id, cell) Hashtbl.t;
   prng : Prng.t;
   trace : Trace.t;
 }
+
+and cell = { callback : t -> unit; mutable active : bool }
 
 let create ?(seed = 42) () =
   {
@@ -16,7 +23,7 @@ let create ?(seed = 42) () =
     next_seq = 0;
     live = 0;
     queue = Heap.create ();
-    cancelled = Hashtbl.create 64;
+    tracked = Hashtbl.create 64;
     prng = Prng.create ~seed;
     trace = Trace.create ();
   }
@@ -38,7 +45,9 @@ let schedule t ~at callback =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.live <- t.live + 1;
-  Heap.push t.queue ~key:at ~seq callback;
+  let cell = { callback; active = true } in
+  Hashtbl.replace t.tracked seq cell;
+  Heap.push t.queue ~key:at ~seq cell;
   seq
 
 let schedule_after t ~delay callback =
@@ -46,23 +55,27 @@ let schedule_after t ~delay callback =
   schedule t ~at:(Timebase.add t.clock delay) callback
 
 let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
+  match Hashtbl.find_opt t.tracked id with
+  | None -> () (* already fired, already cancelled, or never issued *)
+  | Some cell ->
+    cell.active <- false;
+    Hashtbl.remove t.tracked id;
     t.live <- t.live - 1
-  end
 
 let pending t = t.live
+
+let tracked_events t = Hashtbl.length t.tracked
 
 (* Pop until a non-cancelled event is found. *)
 let rec pop_live t =
   match Heap.pop t.queue with
   | None -> None
-  | Some (time, seq, callback) ->
-    if Hashtbl.mem t.cancelled seq then begin
-      Hashtbl.remove t.cancelled seq;
-      pop_live t
+  | Some (time, seq, cell) ->
+    if cell.active then begin
+      Hashtbl.remove t.tracked seq;
+      Some (time, cell.callback)
     end
-    else Some (time, callback)
+    else pop_live t
 
 let step t =
   match pop_live t with
@@ -76,13 +89,12 @@ let step t =
 let rec peek_live t =
   match Heap.peek t.queue with
   | None -> None
-  | Some (time, seq, _) ->
-    if Hashtbl.mem t.cancelled seq then begin
+  | Some (time, _, cell) ->
+    if cell.active then Some time
+    else begin
       ignore (Heap.pop t.queue);
-      Hashtbl.remove t.cancelled seq;
       peek_live t
     end
-    else Some time
 
 let run ?until t =
   match until with

@@ -33,10 +33,16 @@ val schedule_after : t -> delay:Timebase.t -> (t -> unit) -> event_id
 (** Schedule relative to {!now}. [delay] must be non-negative. *)
 
 val cancel : t -> event_id -> unit
-(** Cancelled events are skipped when their time comes. Idempotent. *)
+(** Cancelled events are skipped when their time comes. Idempotent, and a
+    no-op on events that already fired. *)
 
 val pending : t -> int
 (** Number of live (non-cancelled) queued events. *)
+
+val tracked_events : t -> int
+(** Size of the internal id-to-event table — equals {!pending}, and in
+    particular stays bounded by the queue length no matter how many events
+    are cancelled over the engine's lifetime (diagnostic for tests). *)
 
 val step : t -> bool
 (** Execute the next event. Returns [false] if the queue was empty. *)

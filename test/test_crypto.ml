@@ -138,6 +138,53 @@ let incremental_property (module H : Digest_intf.S) =
         H.update ctx data ~pos:!pos ~len:(Bytes.length data - !pos);
       Bytes.equal (H.finalize ctx) (H.digest data))
 
+(* The optimized compress functions (unsafe array/byte accesses, rotation
+   tricks) must agree with the bounds-checked reference in Checked on every
+   input. Lengths concentrate around the 64/128-byte block boundaries where
+   padding and buffering edge cases live. *)
+let equivalence_property name optimized checked =
+  let boundary_lengths =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.int_range 0 300;
+        (* +/- 2 around multiples of 64 up to 4 blocks of 128 *)
+        QCheck.Gen.(
+          map2
+            (fun blocks delta -> max 0 ((blocks * 64) + delta))
+            (int_range 0 8) (int_range (-2) 2));
+      ]
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun s -> Printf.sprintf "%d bytes: %S" (String.length s) s)
+      QCheck.Gen.(boundary_lengths >>= fun n -> string_size (return n))
+  in
+  QCheck.Test.make ~name:(name ^ " optimized = checked") ~count:300 arb
+    (fun input ->
+      let data = Bytes.of_string input in
+      Bytes.equal (optimized data) (checked data))
+
+let equivalence_tests =
+  [
+    equivalence_property "SHA-256" Sha256.digest Checked.sha256;
+    equivalence_property "SHA-512" Sha512.digest Checked.sha512;
+    equivalence_property "BLAKE2b" Blake2b.digest Checked.blake2b;
+    equivalence_property "BLAKE2s" Blake2s.digest Checked.blake2s;
+  ]
+
+let test_unsafe_load_matches_checked () =
+  let b = Bytes.init 32 (fun i -> Char.chr ((i * 37 + 5) land 0xFF)) in
+  for i = 0 to 24 do
+    check Alcotest.int "load32_be" (Bytesutil.load32_be b i)
+      (Bytesutil.unsafe_load32_be b i);
+    check Alcotest.int "load32_le" (Bytesutil.load32_le b i)
+      (Bytesutil.unsafe_load32_le b i);
+    check Alcotest.int64 "load64_be" (Bytesutil.load64_be b i)
+      (Bytesutil.unsafe_load64_be b i);
+    check Alcotest.int64 "load64_le" (Bytesutil.load64_le b i)
+      (Bytesutil.unsafe_load64_le b i)
+  done
+
 let test_update_bounds () =
   let ctx = Sha256.init () in
   Alcotest.check_raises "out of bounds"
@@ -352,6 +399,9 @@ let () =
           Alcotest.test_case "sized" `Quick test_blake2_sized;
           Alcotest.test_case "parameter validation" `Quick test_blake2_param_validation;
         ] );
+      ( "optimized vs checked",
+        Alcotest.test_case "unsafe loads" `Quick test_unsafe_load_matches_checked
+        :: List.map qtest equivalence_tests );
       ( "incremental",
         [
           qtest (incremental_property (module Sha256));

@@ -107,7 +107,7 @@ let test_smarm_game_matches_theory () =
 
 let test_smarm_simulation_matches_theory () =
   let escape, (lo, hi) =
-    Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials:120 ~seed:17
+    Smarm_sweep.simulated_escape_rate ~blocks:64 ~rounds:1 ~trials:120 ~seed:17 ()
   in
   let theory = Smarm.per_round_escape_probability ~blocks:64 in
   check Alcotest.bool "full simulation covers theory" true (lo <= theory && theory <= hi);

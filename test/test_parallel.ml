@@ -1,0 +1,105 @@
+(* The Ra_parallel determinism contract: fan-out must be invisible in the
+   results — same bytes whatever the jobs count — and the pool must stay
+   usable through nesting and task exceptions. *)
+
+let check = Alcotest.check
+
+let test_init_matches_sequential () =
+  let seq = Array.init 257 (fun i -> (i * 31) mod 97) in
+  let par = Ra_parallel.parallel_init ~jobs:4 257 (fun i -> (i * 31) mod 97) in
+  check (Alcotest.array Alcotest.int) "ordered results" seq par;
+  check (Alcotest.array Alcotest.int) "empty" [||]
+    (Ra_parallel.parallel_init ~jobs:4 0 (fun _ -> assert false))
+
+let test_map_preserves_order () =
+  let input = List.init 100 string_of_int in
+  check
+    (Alcotest.list Alcotest.string)
+    "list map" input
+    (Ra_parallel.parallel_list_map ~jobs:4 Fun.id input)
+
+let test_seeded_init_jobs_invariant () =
+  let draw prng _i = Ra_sim.Prng.int prng ~bound:1_000_000_000 in
+  let one = Ra_parallel.seeded_init ~jobs:1 ~seed:99 64 draw in
+  let four = Ra_parallel.seeded_init ~jobs:4 ~seed:99 64 draw in
+  check (Alcotest.array Alcotest.int) "stream per index" one four
+
+let test_nested_call_degrades () =
+  let out =
+    Ra_parallel.parallel_init ~jobs:4 8 (fun i ->
+        check Alcotest.bool "inside task" true (Ra_parallel.running_inside_task ());
+        let inner = Ra_parallel.parallel_init ~jobs:4 5 (fun j -> i * 10 + j) in
+        Array.fold_left ( + ) 0 inner)
+  in
+  check Alcotest.bool "outside task" false (Ra_parallel.running_inside_task ());
+  let expect = Array.init 8 (fun i -> (i * 50) + 10) in
+  check (Alcotest.array Alcotest.int) "nested results" expect out
+
+let test_exception_propagates () =
+  (try
+     ignore
+       (Ra_parallel.parallel_init ~jobs:4 50 (fun i ->
+            if i mod 7 = 3 then failwith (string_of_int i) else i));
+     Alcotest.fail "no exception raised"
+   with Failure m -> check Alcotest.string "lowest failing index" "3" m);
+  (* pool still works after a failed batch *)
+  let a = Ra_parallel.parallel_init ~jobs:4 20 (fun i -> i) in
+  check Alcotest.int "pool alive" 19 a.(19)
+
+(* The tentpole acceptance test: a full (reduced-trials) Table 1 computed on
+   four domains must be byte-for-byte the table computed on one. *)
+let test_table1_jobs_invariant () =
+  let render jobs = Ra_experiments.Table1.render ~jobs ~trials:3 ~seed:5 () in
+  check Alcotest.string "Table1 bytes" (render 1) (render 4)
+
+let test_detection_rate_jobs_invariant () =
+  let rate jobs =
+    Ra_experiments.Runs.detection_rate ~jobs Ra_experiments.Runs.default_setup
+      ~scheme:Ra_core.Scheme.smart
+      ~adversary:
+        (Ra_experiments.Runs.Malicious
+           { behavior = Ra_malware.Malware.Static; block = 40 })
+      ~trials:8
+  in
+  let r1, (lo1, hi1) = rate 1 in
+  let r4, (lo4, hi4) = rate 4 in
+  check (Alcotest.float 0.) "rate" r1 r4;
+  check (Alcotest.float 0.) "interval lo" lo1 lo4;
+  check (Alcotest.float 0.) "interval hi" hi1 hi4
+
+let test_chaos_jobs_invariant () =
+  let run jobs =
+    Ra_experiments.Chaos.render (Ra_experiments.Chaos.run ~jobs ~trials:7 ())
+  in
+  check Alcotest.string "chaos summary bytes" (run 1) (run 4)
+
+let test_default_jobs_override () =
+  let before = Ra_parallel.default_jobs () in
+  check Alcotest.bool "at least one" true (before >= 1);
+  Ra_parallel.set_default_jobs 3;
+  check Alcotest.int "override" 3 (Ra_parallel.default_jobs ());
+  Ra_parallel.set_default_jobs 0;
+  check Alcotest.int "clamped" 1 (Ra_parallel.default_jobs ())
+
+let () =
+  Alcotest.run "ra_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "init = sequential" `Quick test_init_matches_sequential;
+          Alcotest.test_case "map order" `Quick test_map_preserves_order;
+          Alcotest.test_case "nested degrades" `Quick test_nested_call_degrades;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_override;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded streams" `Quick test_seeded_init_jobs_invariant;
+          Alcotest.test_case "detection rate" `Quick
+            test_detection_rate_jobs_invariant;
+          Alcotest.test_case "Table 1 byte-for-byte" `Slow
+            test_table1_jobs_invariant;
+          Alcotest.test_case "chaos summary byte-for-byte" `Quick
+            test_chaos_jobs_invariant;
+        ] );
+    ]

@@ -205,6 +205,45 @@ let test_engine_cancel () =
   Engine.run eng;
   check Alcotest.bool "cancelled event did not fire" false !fired
 
+let test_engine_cancel_after_fire () =
+  let eng = Engine.create () in
+  let id = Engine.schedule eng ~at:(Timebase.ms 1) (fun _ -> ()) in
+  Engine.run eng;
+  (* cancelling an event that already fired must not corrupt the live
+     counter or leave a tombstone behind *)
+  Engine.cancel eng id;
+  check Alcotest.int "pending still zero" 0 (Engine.pending eng);
+  check Alcotest.int "no tombstone" 0 (Engine.tracked_events eng);
+  let fired = ref false in
+  ignore (Engine.schedule eng ~at:(Timebase.ms 2) (fun _ -> fired := true));
+  check Alcotest.int "new event counted" 1 (Engine.pending eng);
+  Engine.run eng;
+  check Alcotest.bool "new event fired" true !fired
+
+let test_engine_cancel_table_bounded () =
+  (* A long-running simulation that keeps cancelling — both pending and
+     already-fired events — must not grow internal state without bound. *)
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let high_water = ref 0 in
+  for round = 0 to 9_999 do
+    let at = Timebase.ms (1 + round) in
+    let keep = Engine.schedule eng ~at (fun _ -> incr fired) in
+    let doomed = Engine.schedule eng ~at (fun _ -> assert false) in
+    Engine.cancel eng doomed;
+    Engine.run ~until:at eng;
+    (* cancel after the event fired: must be a no-op *)
+    Engine.cancel eng keep;
+    Engine.cancel eng doomed;
+    high_water := max !high_water (Engine.tracked_events eng)
+  done;
+  check Alcotest.int "all live events fired" 10_000 !fired;
+  check Alcotest.int "table empty after drain" 0 (Engine.tracked_events eng);
+  check Alcotest.bool
+    (Printf.sprintf "table bounded by queue length (high water %d)" !high_water)
+    true (!high_water <= 2);
+  check Alcotest.int "live counter intact" 0 (Engine.pending eng)
+
 let test_engine_run_until () =
   let eng = Engine.create () in
   let fired = ref [] in
@@ -405,6 +444,10 @@ let () =
           Alcotest.test_case "time order" `Quick test_engine_order;
           Alcotest.test_case "tie order" `Quick test_engine_tie_order;
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_engine_cancel_after_fire;
+          Alcotest.test_case "cancel table bounded" `Quick
+            test_engine_cancel_table_bounded;
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
