@@ -1,14 +1,22 @@
 (* Diff a bench run against a committed baseline; exit non-zero on
    regression. Usage:
 
-     compare.exe [--tolerance 0.2] BASELINE.json CURRENT.json [...]
+     compare.exe [--tolerance 0.2] [--only exact|wall] BASELINE.json CURRENT.json [...]
 
    Files pair up positionally: baseline1 current1 baseline2 current2 ...
    The default 20% tolerance suits same-machine comparisons; CI passes a
-   looser value because the committed baselines come from another host. *)
+   looser value because the committed baselines come from another host.
+
+   --only exact restricts the comparison to deterministic count metrics
+   (compared for equality — the gating CI pass); --only wall restricts it
+   to the remaining wall-time/throughput metrics (tolerance-gated, run
+   non-gating in CI because they flake across runners). *)
+
+type only = All | Exact_only | Wall_only
 
 let () =
   let tolerance = ref 0.2 in
+  let only = ref All in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -19,6 +27,17 @@ let () =
         parse rest
       | _ ->
         prerr_endline "compare: --tolerance expects a positive float";
+        exit 2)
+    | "--only" :: v :: rest -> (
+      match v with
+      | "exact" ->
+        only := Exact_only;
+        parse rest
+      | "wall" ->
+        only := Wall_only;
+        parse rest
+      | _ ->
+        prerr_endline "compare: --only expects 'exact' or 'wall'";
         exit 2)
     | flag :: _ when String.length flag > 1 && flag.[0] = '-' ->
       Printf.eprintf "compare: unknown flag %s\n" flag;
@@ -52,8 +71,21 @@ let () =
           Printf.eprintf "compare: %s\n" msg;
           false
         | baseline, current ->
-          Printf.printf "== %s: %s vs %s\n" baseline.suite baseline_file
-            current_file;
+          Printf.printf "== %s: %s vs %s%s\n" baseline.suite baseline_file
+            current_file
+            (match !only with
+            | All -> ""
+            | Exact_only -> " (exact metrics only)"
+            | Wall_only -> " (wall metrics only)");
+          let keep m =
+            match !only with
+            | All -> true
+            | Exact_only -> m.exact
+            | Wall_only -> not m.exact
+          in
+          let baseline =
+            { baseline with metrics = List.filter keep baseline.metrics }
+          in
           let comparisons =
             compare_suites ~tolerance:!tolerance ~baseline ~current
           in

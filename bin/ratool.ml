@@ -420,8 +420,13 @@ let heartbeat_cmd =
 
 (* --- fleet -------------------------------------------------------------------- *)
 
-let run_fleet seed =
-  ignore seed;
+let infect_device device ~block =
+  let rng = Ra_sim.Prng.split (Ra_sim.Engine.prng device.Ra_device.Device.engine) in
+  ignore
+    (Ra_malware.Malware.install device ~rng ~block ~priority:8
+       Ra_malware.Malware.Static)
+
+let run_fleet_demo () =
   print_endline "E-FL — fleet attestation with HKDF-derived per-device keys";
   let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "demo-master-secret") in
   let config =
@@ -429,20 +434,90 @@ let run_fleet seed =
   in
   let ids = [ "hvac-1"; "hvac-2"; "door-lock"; "smoke-3"; "camera-9" ] in
   List.iter (fun id -> ignore (Ra_core.Fleet.provision fleet id ~config ())) ids;
-  let infected = Ra_core.Fleet.device fleet "door-lock" in
-  let rng = Ra_sim.Prng.split (Ra_sim.Engine.prng infected.Ra_device.Device.engine) in
-  ignore
-    (Ra_malware.Malware.install infected ~rng ~block:10 ~priority:8
-       Ra_malware.Malware.Static);
+  infect_device (Ra_core.Fleet.device fleet "door-lock") ~block:10;
   let roll = Ra_core.Fleet.attest_all fleet Ra_core.Mp.default_config in
   Printf.printf "clean:    %s
 " (String.concat ", " roll.Ra_core.Fleet.clean);
   Printf.printf "tampered: %s
 " (String.concat ", " roll.Ra_core.Fleet.tampered)
 
+(* Roll-call-at-scale: N devices on one shared-firmware release, every
+   1000th one infected, attested over the Ra_parallel pool. Verdicts and
+   cache counters are invariant under --jobs; only wall time moves. *)
+let run_fleet_scale ~seed ~devices =
+  let open Ra_core in
+  Printf.printf "E-FL — fleet roll call at scale: %d devices\n" devices;
+  let fleet =
+    Fleet.create
+      ~master_secret:(Bytes.of_string (Printf.sprintf "fleet-master-secret-%d" seed))
+  in
+  let config =
+    {
+      Ra_device.Device.default_config with
+      Ra_device.Device.blocks = 16;
+      block_size = 256;
+      modeled_block_bytes = 1024 * 1024;
+    }
+  in
+  let _, provision_s =
+    Benchkit.wall (fun () ->
+        for i = 0 to devices - 1 do
+          ignore (Fleet.provision fleet (Printf.sprintf "dev-%06d" i) ~config ())
+        done)
+  in
+  let tampered_expected = ref 0 in
+  for i = 0 to devices - 1 do
+    if i mod 1000 = 500 then begin
+      incr tampered_expected;
+      infect_device (Fleet.device fleet (Printf.sprintf "dev-%06d" i)) ~block:(i mod 16)
+    end
+  done;
+  let roll, roll_s =
+    Benchkit.wall (fun () -> Fleet.roll_call fleet Mp.default_config)
+  in
+  let hits = roll.Fleet.cache_hits + roll.Fleet.store_hits in
+  Printf.printf "provisioned in %.2f s, roll call in %.2f s (%.0f devices/s)\n"
+    provision_s roll_s
+    (float_of_int devices /. roll_s);
+  Printf.printf "clean %d | tampered %d (expected %d)%s\n"
+    (List.length roll.Fleet.clean)
+    (List.length roll.Fleet.tampered)
+    !tampered_expected
+    (match roll.Fleet.tampered with
+    | [] -> ""
+    | id :: _ -> Printf.sprintf ", first: %s" id);
+  Printf.printf
+    "digest cache: %d requests, %d memo hits, %d store hits, %d hashed \
+     (%d distinct blocks) — hit rate %.2f%%\n"
+    roll.Fleet.digest_requests roll.Fleet.cache_hits roll.Fleet.store_hits
+    roll.Fleet.hashed roll.Fleet.distinct_blocks
+    (100. *. Fleet.hit_rate roll);
+  let acct =
+    Ra_device.Cost_model.cache_accounting config.Ra_device.Device.cost
+      Ra_crypto.Algo.SHA_256
+      ~block_bytes:config.Ra_device.Device.modeled_block_bytes ~hits
+      ~misses:roll.Fleet.hashed
+  in
+  Printf.printf
+    "modeled prover hashing: %.1f s charged in virtual time (cache skipped \
+     the host-side share of %.1f s of it)\n"
+    (acct.Ra_device.Cost_model.modeled_ns_total /. 1e9)
+    (acct.Ra_device.Cost_model.modeled_ns_hit /. 1e9)
+
+let run_fleet () seed devices =
+  if devices = 0 then run_fleet_demo ()
+  else run_fleet_scale ~seed ~devices
+
+let devices_arg =
+  let doc =
+    "Scale mode: provision $(docv) devices on one firmware release and run a \
+     parallel roll call (0 runs the 5-device demo)."
+  in
+  Arg.(value & opt int 0 & info [ "devices" ] ~docv:"N" ~doc)
+
 let fleet_cmd =
   let info = Cmd.info "fleet" ~doc:"Multi-device attestation with derived keys" in
-  Cmd.v info Term.(const run_fleet $ seed_arg)
+  Cmd.v info Term.(const run_fleet $ jobs_term $ seed_arg $ devices_arg)
 
 (* --- swarm ----------------------------------------------------------------- *)
 
@@ -589,7 +664,7 @@ let run_all () seed trials =
   print_newline ();
   run_heartbeat seed;
   print_newline ();
-  run_fleet seed
+  run_fleet_demo ()
 
 let all_cmd =
   let info = Cmd.info "all" ~doc:"Run every experiment" in

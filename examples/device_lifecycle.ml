@@ -77,6 +77,6 @@ let () =
       ~expected_image:
         (Device.firmware_image ~seed:4242 ~size:(Ra_device.Memory.size device.Device.memory))
       ~block_size:(Ra_device.Memory.block_size device.Device.memory)
-      ~data_blocks:[] ~zero_data:false
+      ~data_blocks:[] ~zero_data:false ()
   in
   attest device new_verifier "attestation of the new firmware"

@@ -1,0 +1,116 @@
+open Ra_crypto
+
+let algo_tag = function
+  | Algo.SHA_256 -> 0
+  | Algo.SHA_512 -> 1
+  | Algo.BLAKE2b -> 2
+  | Algo.BLAKE2s -> 3
+
+type stats = {
+  mutable hits : int;
+  mutable store_hits : int;
+  mutable misses : int;
+}
+
+module Store = struct
+  (* Content-addressed digest store shared across devices (and with the
+     verifier side). Keys are (algo, content); OCaml's polymorphic hash
+     fully mixes short strings and full structural equality resolves any
+     bucket collision, so two distinct contents can never share a digest.
+
+     The digest is computed INSIDE the critical section: when several
+     domains race on the same fresh content, exactly one computes it and
+     the rest observe a hit. That makes [computed] (and therefore every
+     hit/miss count derived from it) deterministic under any --jobs. *)
+  type t = {
+    table : (int * string, Bytes.t) Hashtbl.t;
+    mutex : Mutex.t;
+    mutable lookups : int;
+    mutable computed : int;
+  }
+
+  let create () =
+    { table = Hashtbl.create 256; mutex = Mutex.create (); lookups = 0; computed = 0 }
+
+  (* [content] is borrowed: probed with a zero-copy string view, copied
+     into the table only the first time it is seen. The returned digest is
+     shared — callers must treat it as immutable. *)
+  let digest t algo content =
+    Mutex.lock t.mutex;
+    t.lookups <- t.lookups + 1;
+    let tag = algo_tag algo in
+    let result =
+      match Hashtbl.find_opt t.table (tag, Bytes.unsafe_to_string content) with
+      | Some d -> (true, d)
+      | None ->
+        let d = Algo.digest algo content in
+        t.computed <- t.computed + 1;
+        Hashtbl.replace t.table (tag, Bytes.to_string content) d;
+        (false, d)
+    in
+    Mutex.unlock t.mutex;
+    result
+
+  let lookups t =
+    Mutex.lock t.mutex;
+    let n = t.lookups in
+    Mutex.unlock t.mutex;
+    n
+
+  let computed t =
+    Mutex.lock t.mutex;
+    let n = t.computed in
+    Mutex.unlock t.mutex;
+    n
+
+  let distinct_contents t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    n
+end
+
+(* Per-device memo: (algo, block) -> (version, digest). One entry per
+   block and algorithm — re-measuring an unchanged block is a pure table
+   hit with no byte comparison, because Memory guarantees equal versions
+   imply identical bytes. A stale version falls through to the shared
+   store (if any) and the entry is replaced. *)
+type t = {
+  memo : (int * int, int * Bytes.t) Hashtbl.t;
+  store : Store.t option;
+  stats : stats;
+}
+
+let create ?store () =
+  {
+    memo = Hashtbl.create 64;
+    store;
+    stats = { hits = 0; store_hits = 0; misses = 0 };
+  }
+
+let store t = t.store
+
+let stats t = t.stats
+
+let block_digest t algo ~block ~version content =
+  let key = (algo_tag algo, block) in
+  match Hashtbl.find_opt t.memo key with
+  | Some (v, d) when v = version ->
+    t.stats.hits <- t.stats.hits + 1;
+    d
+  | _ ->
+    let d =
+      match t.store with
+      | Some s ->
+        let hit, d = Store.digest s algo content in
+        if hit then t.stats.store_hits <- t.stats.store_hits + 1
+        else t.stats.misses <- t.stats.misses + 1;
+        d
+      | None ->
+        t.stats.misses <- t.stats.misses + 1;
+        Algo.digest algo content
+    in
+    Hashtbl.replace t.memo key (version, d);
+    d
+
+let requests stats = stats.hits + stats.store_hits + stats.misses

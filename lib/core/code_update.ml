@@ -115,7 +115,7 @@ let run device config ?(cheat_blocks = []) ~new_seed ~on_done () =
         let verifier =
           Verifier.create ~key:device.Device.config.Device.key
             ~expected_image:firmware ~block_size
-            ~data_blocks:device.Device.config.Device.data_blocks ~zero_data:false
+            ~data_blocks:device.Device.config.Device.data_blocks ~zero_data:false ()
         in
         Mp.run device
           { Mp.default_config with Mp.hash = config.hash; priority = config.priority }

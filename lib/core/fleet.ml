@@ -4,21 +4,32 @@ type device_id = string
 
 type t = {
   master_secret : Bytes.t;
+  store : Ra_cache.Store.t;
+  firmware_seed : int;
   mutable roster : (device_id * Ra_device.Device.t) list; (* newest first *)
 }
 
-let create ~master_secret = { master_secret; roster = [] }
+(* One firmware image for the whole fleet, derived from the master secret:
+   provisioned devices run the same release, which is exactly what makes
+   the content-addressed store pay off — every clean device's blocks are
+   already in it after the first measurement anywhere in the fleet. *)
+let create ~master_secret =
+  let digest =
+    Ra_crypto.Sha256.digest (Bytes.cat (Bytes.of_string "fleet firmware v1:") master_secret)
+  in
+  {
+    master_secret;
+    store = Ra_cache.Store.create ();
+    firmware_seed = Ra_crypto.Bytesutil.load32_be digest 0;
+    roster = [];
+  }
 
 let derive_key t id =
   Ra_crypto.Hkdf.derive ~ikm:t.master_secret
     ~info:(Bytes.of_string ("ra-safety attestation key v1:" ^ id))
     ~length:32 ()
 
-(* A public, deterministic firmware seed per device: both sides derive the
-   same benign image without shipping it. *)
-let firmware_seed id =
-  let digest = Ra_crypto.Sha256.digest (Bytes.of_string ("firmware:" ^ id)) in
-  Ra_crypto.Bytesutil.load32_be digest 0
+let store t = t.store
 
 let provision t id ?(config = Ra_device.Device.default_config) () =
   if List.mem_assoc id t.roster then invalid_arg "Fleet.provision: duplicate id";
@@ -27,7 +38,8 @@ let provision t id ?(config = Ra_device.Device.default_config) () =
       {
         config with
         Ra_device.Device.key = derive_key t id;
-        seed = firmware_seed id;
+        seed = t.firmware_seed;
+        store = Some t.store;
       }
   in
   t.roster <- (id, device) :: t.roster;
@@ -39,21 +51,71 @@ let verifier_for t id = Verifier.of_device (device t id)
 
 let enrolled t = List.rev_map fst t.roster
 
-type roll_call = { clean : device_id list; tampered : device_id list }
+type roll_call = {
+  clean : device_id list;
+  tampered : device_id list;
+  digest_requests : int;
+  cache_hits : int;
+  store_hits : int;
+  hashed : int;
+  distinct_blocks : int;
+}
 
-let attest_all t ?(net_delay = Timebase.ms 40) mp_config =
+let hit_rate rc =
+  if rc.digest_requests = 0 then 0.
+  else float_of_int (rc.cache_hits + rc.store_hits) /. float_of_int rc.digest_requests
+
+(* Devices are fully independent (own engine, own memory, own verifier
+   view), so the roll call fans out over the deterministic domain pool.
+   Verdicts are a pure function of each device. Counters are taken from
+   per-device memos (whose hits depend only on that device's own history)
+   and from store-level deltas: WHICH party computes a shared digest first
+   is a race under [jobs] > 1, but the store computes each distinct
+   content exactly once, so the totals — and therefore the whole result —
+   are invariant under [jobs]. *)
+let roll_call t ?jobs ?(net_delay = Timebase.ms 40) mp_config =
+  let roster = Array.of_list (List.rev t.roster) in
+  let memo_hits_sum () =
+    Array.fold_left
+      (fun acc (_, dev) ->
+        match dev.Ra_device.Device.cache with
+        | None -> acc
+        | Some cache -> acc + (Ra_cache.stats cache).Ra_cache.hits)
+      0 roster
+  in
+  let memo_hits0 = memo_hits_sum () in
+  let lookups0 = Ra_cache.Store.lookups t.store in
+  let computed0 = Ra_cache.Store.computed t.store in
+  let verdicts =
+    Ra_parallel.parallel_init ?jobs (Array.length roster) (fun i ->
+        let id, dev = roster.(i) in
+        let verifier = Verifier.of_device dev in
+        let verdict = ref None in
+        Protocol.on_demand dev verifier mp_config ~net_delay
+          ~auth_time:(Timebase.us 200)
+          ~on_done:(fun events -> verdict := Some events.Protocol.verdict)
+          ();
+        Ra_device.Device.run dev;
+        (id, !verdict))
+  in
   let clean = ref [] and tampered = ref [] in
-  List.iter
-    (fun (id, dev) ->
-      let verifier = verifier_for t id in
-      let verdict = ref None in
-      Protocol.on_demand dev verifier mp_config ~net_delay
-        ~auth_time:(Timebase.us 200)
-        ~on_done:(fun events -> verdict := Some events.Protocol.verdict)
-        ();
-      Ra_device.Device.run dev;
-      match !verdict with
+  Array.iter
+    (fun (id, verdict) ->
+      match verdict with
       | Some Verifier.Clean -> clean := id :: !clean
       | Some Verifier.Tampered | None -> tampered := id :: !tampered)
-    (List.rev t.roster);
-  { clean = List.rev !clean; tampered = List.rev !tampered }
+    verdicts;
+  let memo_hits = memo_hits_sum () - memo_hits0 in
+  let lookups = Ra_cache.Store.lookups t.store - lookups0 in
+  let computed = Ra_cache.Store.computed t.store - computed0 in
+  {
+    clean = List.rev !clean;
+    tampered = List.rev !tampered;
+    digest_requests = memo_hits + lookups;
+    cache_hits = memo_hits;
+    store_hits = lookups - computed;
+    hashed = computed;
+    distinct_blocks = Ra_cache.Store.distinct_contents t.store;
+  }
+
+let attest_all t ?net_delay mp_config = roll_call t ~jobs:1 ?net_delay mp_config

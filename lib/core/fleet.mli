@@ -17,12 +17,18 @@ val derive_key : t -> device_id -> Bytes.t
 (** The 32-byte per-device attestation key. Deterministic per (master,
     id). *)
 
+val store : t -> Ra_cache.Store.t
+(** The fleet-wide content-addressed digest store every provisioned device
+    (and its verifier view) shares: identical firmware blocks across the
+    fleet are hashed exactly once, no matter how many devices measure. *)
+
 val provision :
   t -> device_id -> ?config:Ra_device.Device.config -> unit -> Ra_device.Device.t
 (** Build a device whose key is the derived key and whose firmware seed is
-    derived from the id; registers the device in the roster. The [config]
-    fields [key] and [seed] are overridden. Raises [Invalid_argument] if
-    the id is already enrolled. *)
+    the fleet-wide seed (all provisioned devices run the same release);
+    registers the device in the roster. The [config] fields [key], [seed]
+    and [store] are overridden. Raises [Invalid_argument] if the id is
+    already enrolled. *)
 
 val verifier_for : t -> device_id -> Verifier.t
 (** The verifier view (expected image + derived key) for an enrolled
@@ -37,8 +43,27 @@ val device : t -> device_id -> Ra_device.Device.t
 type roll_call = {
   clean : device_id list;
   tampered : device_id list;
+  digest_requests : int;
+      (** block-digest demands during this roll call, prover and verifier
+          sides combined; always [cache_hits + store_hits + hashed] *)
+  cache_hits : int;  (** served by per-device version memos *)
+  store_hits : int;  (** served by the shared content-addressed store *)
+  hashed : int;  (** digests actually computed, fleet-wide *)
+  distinct_blocks : int;  (** distinct block contents in the store *)
 }
 
+val hit_rate : roll_call -> float
+(** [(cache_hits + store_hits) / digest_requests]; 0 on an empty fleet. *)
+
+val roll_call :
+  t -> ?jobs:int -> ?net_delay:Timebase.t -> Mp.config -> roll_call
+(** Run the full on-demand protocol against every enrolled device and
+    partition the roster by verdict. Devices are independent simulations,
+    so the roll call fans out over the {!Ra_parallel} domain pool; the
+    result — verdicts and cache counters alike — is bit-identical for any
+    [jobs] value, because the shared store computes each distinct content
+    exactly once regardless of arrival order. *)
+
 val attest_all : t -> ?net_delay:Timebase.t -> Mp.config -> roll_call
-(** Run the full on-demand protocol against every enrolled device (each on
-    its own engine) and partition the roster by verdict. *)
+(** {!roll_call} with [jobs:1] (kept for callers that want the sequential
+    path explicitly). *)

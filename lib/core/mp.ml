@@ -35,18 +35,44 @@ let counter_bytes c =
   Ra_crypto.Bytesutil.store64_be b 0 (Int64.of_int c);
   b
 
-let mac_over ~hash ~key ~nonce ~counter ~order ~block_content =
+(* The measurement is hash-then-MAC: the keyed stream absorbs the unkeyed
+   digest of each block rather than its raw bytes. Per-block digests are
+   key-independent, which is what lets {!Ra_cache} memoise them per device
+   and share them across a whole fleet; the MAC itself still binds nonce,
+   counter, traversal order and every block index under the device key. *)
+let mac_over_digests ~hash ~key ~nonce ~counter ~order ~digests =
+  if Array.length digests <> Array.length order then
+    invalid_arg "Mp.mac_over_digests: digests/order length mismatch";
   let ctx = Ra_crypto.Mac_stream.create hash ~key in
   Ra_crypto.Mac_stream.update ctx nonce;
   (match counter with
   | Some c -> Ra_crypto.Mac_stream.update ctx (counter_bytes c)
   | None -> ());
-  Array.iter
-    (fun block ->
+  Array.iteri
+    (fun i block ->
       Ra_crypto.Mac_stream.update ctx (index_bytes block);
-      Ra_crypto.Mac_stream.update ctx (block_content block))
+      Ra_crypto.Mac_stream.update ctx digests.(i))
     order;
   Ra_crypto.Mac_stream.finalize ctx
+
+let mac_over ~hash ~key ~nonce ~counter ~order ~block_content =
+  let digests =
+    Array.map (fun block -> Ra_crypto.Algo.digest hash (block_content block)) order
+  in
+  mac_over_digests ~hash ~key ~nonce ~counter ~order ~digests
+
+(* Digest one block through the device's cache when it has one: a hit on
+   an unchanged version (or on identical content in the shared store)
+   skips the host-side hash. Reads are zero-copy; the returned digest is
+   shared and must not be mutated. *)
+let block_digest device hash block =
+  let mem = device.Device.memory in
+  Memory.with_block mem block (fun content ->
+      match device.Device.cache with
+      | Some cache ->
+        Ra_cache.block_digest cache hash ~block ~version:(Memory.version mem block)
+          content
+      | None -> Ra_crypto.Algo.digest hash content)
 
 (* Shared run state threaded through the per-block continuation chain. *)
 type state = {
@@ -186,11 +212,11 @@ let rec measure_block st idx =
   ignore
     (Cpu.submit st.device.Device.cpu ~name:"mp" ~priority:st.config.priority ~duration
        ~on_complete:(fun () ->
-         let content = Memory.read_block mem block in
+         let digest = block_digest st.device st.config.hash block in
          Ra_crypto.Mac_stream.update st.ctx (index_bytes block);
-         Ra_crypto.Mac_stream.update st.ctx content;
+         Ra_crypto.Mac_stream.update st.ctx digest;
          if Device.is_data_block st.device block && not st.config.scheme.Scheme.zero_data
-         then st.data_copy <- (block, content) :: st.data_copy;
+         then st.data_copy <- (block, Memory.read_block mem block) :: st.data_copy;
          (match st.config.scheme.Scheme.locking with
          | Scheme.Dec_lock ->
            Memory.unlock ~time:(Engine.now eng) mem block;
@@ -231,11 +257,11 @@ let run_atomic st =
          let mem = memory st in
          Array.iter
            (fun block ->
-             let content = Memory.read_block mem block in
+             let digest = block_digest st.device st.config.hash block in
              Ra_crypto.Mac_stream.update st.ctx (index_bytes block);
-             Ra_crypto.Mac_stream.update st.ctx content;
+             Ra_crypto.Mac_stream.update st.ctx digest;
              if Device.is_data_block st.device block && not st.config.scheme.Scheme.zero_data
-             then st.data_copy <- (block, content) :: st.data_copy)
+             then st.data_copy <- (block, Memory.read_block mem block) :: st.data_copy)
            st.order;
          let t_end = Engine.now eng in
          Engine.record eng ~tag:"mp" "te: atomic measurement complete";

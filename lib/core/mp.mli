@@ -51,5 +51,25 @@ val mac_over :
   block_content:(int -> Bytes.t) ->
   Bytes.t
 (** The exact MAC computation MP performs, exposed so the verifier and the
-    consistency checker recompute it over their own view of memory:
-    [nonce || counter? || (index || content) for each block in order]. *)
+    consistency checker recompute it over their own view of memory. The
+    construction is hash-then-MAC:
+    [MAC(key, nonce || counter? || (index || H(content)) per block in order)]
+    — per-block digests are unkeyed (and therefore cacheable and shareable
+    across devices), while the MAC binds them to the nonce, counter,
+    traversal order and the device key. *)
+
+val mac_over_digests :
+  hash:Ra_crypto.Algo.hash ->
+  key:Bytes.t ->
+  nonce:Bytes.t ->
+  counter:int option ->
+  order:int array ->
+  digests:Bytes.t array ->
+  Bytes.t
+(** Same MAC, fed precomputed per-block digests ([digests.(i)] pairs with
+    [order.(i)]); used by callers that obtain digests from a cache. *)
+
+val block_digest : Ra_device.Device.t -> Ra_crypto.Algo.hash -> int -> Bytes.t
+(** Digest of one block of the device's memory, served through the device's
+    digest cache when enabled (zero-copy read, version-keyed memo, shared
+    store). The result is shared — treat as immutable. *)

@@ -103,7 +103,7 @@ let run device config ~nonce ?(hooks = null_hooks) ~on_complete () =
              ~on_complete:(fun () ->
                let block = order.(idx) in
                Ra_crypto.Mac_stream.update ctx (index_bytes block);
-               Ra_crypto.Mac_stream.update ctx (Memory.read_block mem block);
+               Ra_crypto.Mac_stream.update ctx (Mp.block_digest device config.hash block);
                step (idx + 1))
              ())
     in

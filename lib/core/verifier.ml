@@ -4,28 +4,43 @@ type t = {
   block_size : int;
   data_blocks : int list;
   zero_data : bool;
+  (* Expected code-block digests are nonce-independent, so they are
+     memoised per verifier — (hash, block) -> digest — and optionally
+     resolved through the fleet's content-addressed store, where the
+     prover side has usually already paid for them. Data blocks are never
+     memoised: their expected content varies per report. *)
+  memo : (Ra_crypto.Algo.hash * int, Bytes.t) Hashtbl.t;
+  store : Ra_cache.Store.t option;
 }
 
 type verdict = Clean | Tampered
 
 let verdict_to_string = function Clean -> "clean" | Tampered -> "TAMPERED"
 
-let create ~key ~expected_image ~block_size ~data_blocks ~zero_data =
+let create ?store ~key ~expected_image ~block_size ~data_blocks ~zero_data () =
   if Bytes.length expected_image mod block_size <> 0 then
     invalid_arg "Verifier.create: image not a multiple of block size";
-  { key; expected_image; block_size; data_blocks; zero_data }
+  {
+    key;
+    expected_image;
+    block_size;
+    data_blocks;
+    zero_data;
+    memo = Hashtbl.create 64;
+    store;
+  }
 
 let of_device device =
   let config = device.Ra_device.Device.config in
   let size = config.Ra_device.Device.blocks * config.Ra_device.Device.block_size in
-  {
-    key = config.Ra_device.Device.key;
-    expected_image =
-      Ra_device.Device.firmware_image ~seed:config.Ra_device.Device.seed ~size;
-    block_size = config.Ra_device.Device.block_size;
-    data_blocks = config.Ra_device.Device.data_blocks;
-    zero_data = false;
-  }
+  create
+    ?store:config.Ra_device.Device.store
+    ~key:config.Ra_device.Device.key
+    ~expected_image:
+      (Ra_device.Device.firmware_image ~seed:config.Ra_device.Device.seed ~size)
+    ~block_size:config.Ra_device.Device.block_size
+    ~data_blocks:config.Ra_device.Device.data_blocks
+    ~zero_data:false ()
 
 let with_zero_data t zero_data = { t with zero_data }
 
@@ -43,36 +58,43 @@ let valid_order order blocks =
     order
 
 
-let expected_block_content t report block =
+let digest_content t hash content =
+  match t.store with
+  | Some store -> snd (Ra_cache.Store.digest store hash content)
+  | None -> Ra_crypto.Algo.digest hash content
+
+let expected_block_digest t report hash block =
   if List.mem block t.data_blocks then
-    if t.zero_data then Some (Bytes.make t.block_size '\000')
-    else List.assoc_opt block report.Report.data_copy
+    if t.zero_data then Some (digest_content t hash (Bytes.make t.block_size '\000'))
+    else
+      Option.map (digest_content t hash)
+        (List.assoc_opt block report.Report.data_copy)
   else
-    Some (Bytes.sub t.expected_image (block * t.block_size) t.block_size)
+    match Hashtbl.find_opt t.memo (hash, block) with
+    | Some d -> Some d
+    | None ->
+      let content = Bytes.sub t.expected_image (block * t.block_size) t.block_size in
+      let d = digest_content t hash content in
+      Hashtbl.replace t.memo (hash, block) d;
+      Some d
 
 let expected_mac t report =
   let blocks = Bytes.length t.expected_image / t.block_size in
   if not (valid_order report.Report.order blocks) then None
   else begin
-    (* Gather contents first so a missing data copy aborts cleanly. *)
-    let contents =
-      Array.map (fun b -> expected_block_content t report b) report.Report.order
+    (* Gather digests first so a missing data copy aborts cleanly. *)
+    let digests =
+      Array.map
+        (fun b -> expected_block_digest t report report.Report.hash b)
+        report.Report.order
     in
-    if Array.exists Option.is_none contents then None
-    else begin
-      let table = Hashtbl.create blocks in
-      Array.iteri
-        (fun i b ->
-          match contents.(i) with
-          | Some c -> Hashtbl.replace table b c
-          | None -> assert false)
-        report.Report.order;
+    if Array.exists Option.is_none digests then None
+    else
       Some
-        (Mp.mac_over ~hash:report.Report.hash ~key:t.key
+        (Mp.mac_over_digests ~hash:report.Report.hash ~key:t.key
            ~nonce:report.Report.nonce ~counter:report.Report.counter
            ~order:report.Report.order
-           ~block_content:(fun b -> Hashtbl.find table b))
-    end
+           ~digests:(Array.map Option.get digests))
   end
 
 let mac_matches t report =

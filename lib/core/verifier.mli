@@ -14,12 +14,18 @@ type verdict = Clean | Tampered
 val verdict_to_string : verdict -> string
 
 val create :
+  ?store:Ra_cache.Store.t ->
   key:Bytes.t ->
   expected_image:Bytes.t ->
   block_size:int ->
   data_blocks:int list ->
   zero_data:bool ->
+  unit ->
   t
+(** Expected code-block digests are memoised inside the verifier, and when
+    [store] is given they are resolved through the fleet-wide
+    content-addressed store — so a clean device's blocks are hashed once
+    across prover and verifier, not twice. *)
 
 val of_device : Ra_device.Device.t -> t
 (** Build the verifier's view from the same provisioning data as the device

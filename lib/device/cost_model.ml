@@ -132,3 +132,23 @@ let measurement_time t hash ?signature ~bytes () =
 
 let crossover_bytes t hash alg =
   int_of_float (Float.round (t.sign_ns alg /. t.hash_ns_per_byte hash))
+
+type cache_accounting = {
+  blocks_hashed : int;
+  blocks_hit : int;
+  modeled_ns_total : float;
+  modeled_ns_hit : float;
+}
+
+(* Pure accounting: the prover is still modeled as hashing every block
+   (the device has no digest cache; virtual-time cost never depends on
+   hits), so the total charges all blocks and the hit share just reports
+   how much host hashing the cache avoided in cost-model terms. *)
+let cache_accounting t hash ~block_bytes ~hits ~misses =
+  let per_block = float_of_int block_bytes *. t.hash_ns_per_byte hash in
+  {
+    blocks_hashed = misses;
+    blocks_hit = hits;
+    modeled_ns_total = float_of_int (hits + misses) *. per_block;
+    modeled_ns_hit = float_of_int hits *. per_block;
+  }

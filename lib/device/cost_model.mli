@@ -61,3 +61,22 @@ val measurement_time :
 val crossover_bytes : t -> Ra_crypto.Algo.hash -> signature_alg -> int
 (** Input size at which hashing cost equals signing cost: the Section 2.4
     "point at which the cost of hashing exceeds that of signing". *)
+
+type cache_accounting = {
+  blocks_hashed : int;  (** blocks whose digest was actually computed *)
+  blocks_hit : int;  (** blocks served from the digest cache *)
+  modeled_ns_total : float;
+      (** virtual-time cost charged to the prover: covers hits AND misses,
+          because the simulated device has no digest cache — the cache is
+          a host-side optimisation and must not perturb modeled timings *)
+  modeled_ns_hit : float;
+      (** the share of [modeled_ns_total] whose host-side hashing the
+          cache skipped *)
+}
+
+val cache_accounting :
+  t -> Ra_crypto.Algo.hash -> block_bytes:int -> hits:int -> misses:int ->
+  cache_accounting
+(** Pure function of the platform's per-byte rate and the hit/miss counts;
+    cost models carry no mutable state, so accounting lives with the
+    caller's counters ({!Ra_cache.stats}). *)

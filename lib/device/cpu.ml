@@ -18,7 +18,7 @@ type job = {
 
 type t = {
   engine : Engine.t;
-  ready : job Heap.t; (* keyed by negated priority, then seq: max-priority FIFO *)
+  ready : job Eventq.t; (* keyed by negated priority, then seq: max-priority FIFO *)
   mutable current : job option;
   mutable next_seq : int;
   busy : (string, int) Hashtbl.t;
@@ -28,7 +28,7 @@ type t = {
 let create engine =
   {
     engine;
-    ready = Heap.create ();
+    ready = Eventq.create ();
     current = None;
     next_seq = 0;
     busy = Hashtbl.create 16;
@@ -42,26 +42,28 @@ let account t job consumed =
     t.total_busy <- t.total_busy + consumed
   end
 
-let push_ready t job = Heap.push t.ready ~key:(-job.priority) ~seq:job.seq job
+let push_ready t job = Eventq.push t.ready ~key:(-job.priority) ~seq:job.seq job
 
 (* Pop the highest-priority non-cancelled waiting job. *)
 let rec pop_ready t =
-  match Heap.pop t.ready with
-  | None -> None
-  | Some (_, _, job) ->
-    (match job.state with
+  if Eventq.is_empty t.ready then None
+  else begin
+    let job = Eventq.min_value t.ready in
+    Eventq.drop_min t.ready;
+    match job.state with
     | Waiting -> Some job
-    | Cancelled | Complete | Running _ -> pop_ready t)
+    | Cancelled | Complete | Running _ -> pop_ready t
+  end
 
 let rec peek_ready t =
-  match Heap.peek t.ready with
-  | None -> None
-  | Some (_, _, job) ->
-    (match job.state with
+  if Eventq.is_empty t.ready then None
+  else
+    let job = Eventq.min_value t.ready in
+    match job.state with
     | Waiting -> Some job
     | Cancelled | Complete | Running _ ->
-      ignore (Heap.pop t.ready);
-      peek_ready t)
+      Eventq.drop_min t.ready;
+      peek_ready t
 
 let rec start t job =
   let completion =
@@ -144,13 +146,14 @@ let flush t =
     t.current <- None
   | None -> ());
   let rec drain () =
-    match Heap.pop t.ready with
-    | None -> ()
-    | Some (_, _, job) ->
+    if not (Eventq.is_empty t.ready) then begin
+      let job = Eventq.min_value t.ready in
+      Eventq.drop_min t.ready;
       (match job.state with
       | Waiting -> job.state <- Cancelled
       | Running _ | Complete | Cancelled -> ());
       drain ()
+    end
   in
   drain ()
 

@@ -8,6 +8,8 @@ type config = {
   data_blocks : int list;
   cost : Cost_model.t;
   key : Bytes.t;
+  digest_cache : bool;
+  store : Ra_cache.Store.t option;
 }
 
 let default_config =
@@ -19,6 +21,8 @@ let default_config =
     data_blocks = [];
     cost = Cost_model.odroid_xu4;
     key = Bytes.of_string "ra-safety-demo-attestation-key!!";
+    digest_cache = true;
+    store = None;
   }
 
 type t = {
@@ -26,6 +30,7 @@ type t = {
   cpu : Cpu.t;
   memory : Memory.t;
   config : config;
+  cache : Ra_cache.t option;
   mutable epoch : int;
   mutable up : bool;
   mutable crash_count : int;
@@ -54,6 +59,9 @@ let create config =
     cpu = Cpu.create engine;
     memory = Memory.create ~image ~block_size:config.block_size;
     config;
+    cache =
+      (if config.digest_cache then Some (Ra_cache.create ?store:config.store ())
+       else None);
     epoch = 0;
     up = true;
     crash_count = 0;

@@ -13,6 +13,12 @@ type config = {
   data_blocks : int list;  (** indices treated as volatile data (Section 2.3) *)
   cost : Cost_model.t;
   key : Bytes.t;  (** attestation key shared with the verifier *)
+  digest_cache : bool;
+      (** memoise per-block digests keyed on {!Memory.version} (default
+          true); host-time optimisation only — modeled cost is unchanged *)
+  store : Ra_cache.Store.t option;
+      (** optional fleet-wide content-addressed store shared between
+          devices (and their verifiers) so identical blocks hash once *)
 }
 
 val default_config : config
@@ -24,6 +30,7 @@ type t = private {
   cpu : Cpu.t;
   memory : Memory.t;
   config : config;
+  cache : Ra_cache.t option;  (** present iff [config.digest_cache] *)
   mutable epoch : int;  (** boot generation; bumped by every {!crash} *)
   mutable up : bool;
   mutable crash_count : int;

@@ -7,11 +7,18 @@ type journal_entry = { when_ : Timebase.t; block : int; after : Bytes.t }
    content; the shadow merges into the block when the lock is released. *)
 type lock_state = Unlocked | Locked_hard | Locked_cow of Bytes.t option ref
 
+(* Per-block storage: [data.(b)] is the live content of block [b], and
+   [versions.(b)] counts the times that content has changed since creation.
+   Readers observing an unchanged version are guaranteed unchanged bytes,
+   which is what the measurement digest cache keys on. Cow-diverted writes
+   do not bump the version until the shadow merges — readers (and the
+   cache) keep seeing the frozen content until then. *)
 type t = {
-  data : Bytes.t;
+  data : Bytes.t array;
   block_size : int;
   blocks : int;
   locks : lock_state array;
+  versions : int array;
   initial : Bytes.t;
   mutable journal : journal_entry list; (* newest first *)
   mutable unlock_subscribers : (int -> unit) list;
@@ -23,11 +30,13 @@ let create ~image ~block_size =
   let size = Bytes.length image in
   if block_size <= 0 || size = 0 || size mod block_size <> 0 then
     invalid_arg "Memory.create: image must be a positive multiple of block_size";
+  let blocks = size / block_size in
   {
-    data = Bytes.copy image;
+    data = Array.init blocks (fun b -> Bytes.sub image (b * block_size) block_size);
     block_size;
-    blocks = size / block_size;
-    locks = Array.make (size / block_size) Unlocked;
+    blocks;
+    locks = Array.make blocks Unlocked;
+    versions = Array.make blocks 0;
     initial = Bytes.copy image;
     journal = [];
     unlock_subscribers = [];
@@ -35,18 +44,27 @@ let create ~image ~block_size =
 
 let block_count t = t.blocks
 let block_size t = t.block_size
-let size t = Bytes.length t.data
+let size t = t.blocks * t.block_size
 
 let check_block t block =
   if block < 0 || block >= t.blocks then invalid_arg "Memory: block out of range"
 
 let read_block t block =
   check_block t block;
-  Bytes.sub t.data (block * t.block_size) t.block_size
+  Bytes.copy t.data.(block)
+
+let with_block t block f =
+  check_block t block;
+  f t.data.(block)
+
+let version t block =
+  check_block t block;
+  t.versions.(block)
 
 let record t ~time ~block =
-  let after = Bytes.sub t.data (block * t.block_size) t.block_size in
-  t.journal <- { when_ = time; block; after } :: t.journal
+  let after = Bytes.copy t.data.(block) in
+  t.journal <- { when_ = time; block; after } :: t.journal;
+  t.versions.(block) <- t.versions.(block) + 1
 
 let write t ~time ~block ~offset payload =
   check_block t block;
@@ -56,7 +74,7 @@ let write t ~time ~block ~offset payload =
   match t.locks.(block) with
   | Locked_hard -> Error (Locked block)
   | Unlocked ->
-    Bytes.blit payload 0 t.data ((block * t.block_size) + offset) len;
+    Bytes.blit payload 0 t.data.(block) offset len;
     record t ~time ~block;
     Ok ()
   | Locked_cow shadow ->
@@ -66,7 +84,7 @@ let write t ~time ~block ~offset payload =
       match !shadow with
       | Some existing -> existing
       | None ->
-        let copy = Bytes.sub t.data (block * t.block_size) t.block_size in
+        let copy = Bytes.copy t.data.(block) in
         shadow := Some copy;
         copy
     in
@@ -94,7 +112,7 @@ let has_shadow t block =
   | Locked_cow { contents = Some _ } -> true
   | Locked_cow { contents = None } | Unlocked | Locked_hard -> false
 
-let unlock ?(time = Timebase.zero) t block =
+let unlock ?time t block =
   check_block t block;
   match t.locks.(block) with
   | Unlocked -> ()
@@ -105,7 +123,18 @@ let unlock ?(time = Timebase.zero) t block =
     (match !shadow with
     | None -> ()
     | Some pending ->
-      Bytes.blit pending 0 t.data (block * t.block_size) t.block_size;
+      (* Merging a shadow is a real content change: it must land in the
+         journal at the actual release time, or the temporal-consistency
+         reconstruction sees the merged bytes as present since time 0. *)
+      let time =
+        match time with
+        | Some time -> time
+        | None ->
+          invalid_arg
+            "Memory.unlock: releasing a cow lock with a pending shadow \
+             requires ~time"
+      in
+      Bytes.blit pending 0 t.data.(block) 0 t.block_size;
       record t ~time ~block);
     t.locks.(block) <- Unlocked;
     List.iter (fun f -> f block) t.unlock_subscribers
@@ -138,7 +167,12 @@ let unlock_all ?time t =
 
 let subscribe_unlock t f = t.unlock_subscribers <- f :: t.unlock_subscribers
 
-let snapshot t = Bytes.copy t.data
+let snapshot t =
+  let image = Bytes.create (t.blocks * t.block_size) in
+  Array.iteri
+    (fun b content -> Bytes.blit content 0 image (b * t.block_size) t.block_size)
+    t.data;
+  image
 
 let initial_image t = Bytes.copy t.initial
 

@@ -24,6 +24,19 @@ val size : t -> int
 val read_block : t -> int -> Bytes.t
 (** A fresh copy of the block's current content. *)
 
+val with_block : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Zero-copy read: [f] is applied to the block's live storage. [f] must
+    not mutate the bytes or retain them past its return — use
+    {!read_block} when a lasting copy is needed. *)
+
+val version : t -> int -> int
+(** Monotonically-increasing per-block version counter, starting at 0.
+    Bumped on every successful direct write and on every cow shadow merge
+    — i.e. exactly when the content readers observe can change. Equal
+    versions imply identical bytes, which is the contract the measurement
+    digest cache relies on. Cow-diverted writes do not bump the version
+    until the shadow merges. *)
+
 val write :
   t -> time:Timebase.t -> block:int -> offset:int -> Bytes.t ->
   (unit, write_error) result
@@ -49,8 +62,10 @@ val has_shadow : t -> int -> bool
 val unlock : ?time:Timebase.t -> t -> int -> unit
 (** Idempotent; notifies subscribers only on a locked-to-unlocked edge.
     Releasing a cow lock merges any pending shadow and journals the merge
-    at [time] (default 0 — pass the current virtual time whenever shadows
-    may exist). *)
+    at [time]. Raises [Invalid_argument] if a pending shadow exists and no
+    [~time] was supplied: a merge journaled at a default time corrupts the
+    temporal-consistency reconstruction, so the current virtual time is
+    mandatory exactly when it matters. *)
 
 val is_locked : t -> int -> bool
 val locked_count : t -> int

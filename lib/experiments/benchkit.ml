@@ -5,11 +5,15 @@
 
 type direction = Higher_is_better | Lower_is_better
 
+(* [exact] marks deterministic metrics (event/byte/hit counts): they must
+   reproduce bit-for-bit on any host and any job count, so the comparison
+   gate checks equality instead of a wall-time tolerance. *)
 type metric = {
   name : string;
   value : float;
   unit_ : string;
   direction : direction;
+  exact : bool;
 }
 
 type suite = { suite : string; metrics : metric list }
@@ -41,10 +45,23 @@ let throughput_metric ~name ~bytes ~budget f =
     value = float_of_int (iters * bytes) /. elapsed /. 1e6;
     unit_ = "MB/s";
     direction = Higher_is_better;
+    exact = false;
   }
 
 let seconds_metric ~name value =
-  { name; value; unit_ = "s"; direction = Lower_is_better }
+  { name; value; unit_ = "s"; direction = Lower_is_better; exact = false }
+
+let ratio_metric ~name value =
+  { name; value; unit_ = "x"; direction = Higher_is_better; exact = false }
+
+let count_metric ~name value =
+  {
+    name;
+    value = float_of_int value;
+    unit_ = "count";
+    direction = Higher_is_better;
+    exact = true;
+  }
 
 (* quick mode trims buffer sizes and timing budgets so `ratool bench` and
    the CI smoke job finish in seconds; the shapes measured are the same *)
@@ -80,7 +97,101 @@ let engine_events_metric ~budget =
     value = float_of_int (iters * events_per_iter) /. elapsed;
     unit_ = "events/s";
     direction = Higher_is_better;
+    exact = false;
   }
+
+(* 1000-device roll call on the fleet's shared firmware release, one device
+   infected. Deliberately NOT shrunk in quick mode: the count metrics are
+   exact and must reproduce identically in smoke runs, full runs, and on
+   any host or job count. *)
+let fleet_metrics ?jobs () =
+  let open Ra_core in
+  let fleet =
+    Fleet.create ~master_secret:(Bytes.of_string "bench fleet master secret")
+  in
+  let config =
+    {
+      Ra_device.Device.default_config with
+      Ra_device.Device.blocks = 16;
+      block_size = 256;
+      modeled_block_bytes = 1024 * 1024;
+    }
+  in
+  let devices = 1000 in
+  for i = 0 to devices - 1 do
+    ignore (Fleet.provision fleet (Printf.sprintf "dev-%05d" i) ~config ())
+  done;
+  let infected = Fleet.device fleet "dev-00500" in
+  let rng = Ra_sim.Prng.split (Ra_sim.Engine.prng infected.Ra_device.Device.engine) in
+  ignore
+    (Ra_malware.Malware.install infected ~rng ~block:3 ~priority:8
+       Ra_malware.Malware.Static);
+  let roll, roll_s =
+    wall (fun () -> Fleet.roll_call fleet ?jobs Mp.default_config)
+  in
+  [
+    seconds_metric ~name:"fleet_roll_call_s" roll_s;
+    count_metric ~name:"fleet_clean" (List.length roll.Fleet.clean);
+    count_metric ~name:"fleet_tampered" (List.length roll.Fleet.tampered);
+    count_metric ~name:"fleet_digest_requests" roll.Fleet.digest_requests;
+    count_metric ~name:"fleet_cache_hits" roll.Fleet.cache_hits;
+    count_metric ~name:"fleet_store_hits" roll.Fleet.store_hits;
+    count_metric ~name:"fleet_blocks_hashed" roll.Fleet.hashed;
+    count_metric ~name:"fleet_distinct_blocks" roll.Fleet.distinct_blocks;
+  ]
+
+(* Repeated self-measurement with a sparse write schedule (5 single-block
+   writes across 10 rounds of 64 blocks — under 1%): the digest cache
+   should collapse host time to O(changed blocks) while virtual-time
+   behaviour stays identical. Like the fleet metrics, the hit/miss counts
+   are exact and identical in quick and full mode. *)
+let erasmus_metrics () =
+  let open Ra_core in
+  let run ~digest_cache =
+    let device =
+      Ra_device.Device.create
+        {
+          Ra_device.Device.default_config with
+          Ra_device.Device.seed = 11;
+          blocks = 64;
+          block_size = 8192;
+          modeled_block_bytes = 8192;
+          digest_cache;
+        }
+    in
+    let eng = device.Ra_device.Device.engine in
+    let mem = device.Ra_device.Device.memory in
+    (* one single-block write between selected rounds (period 10 s) *)
+    List.iter
+      (fun sec ->
+        ignore
+          (Ra_sim.Engine.schedule eng ~at:(Ra_sim.Timebase.s sec) (fun _ ->
+               let payload = Bytes.make 8192 (Char.chr (sec mod 256)) in
+               ignore
+                 (Ra_device.Memory.set_block mem ~time:(Ra_sim.Engine.now eng)
+                    ~block:(sec mod 64) payload))))
+      [ 5; 25; 45; 65; 85 ];
+    let era = Erasmus.start device Erasmus.default_config in
+    let (), elapsed =
+      wall (fun () -> Ra_device.Device.run ~until:(Ra_sim.Timebase.s 95) device)
+    in
+    Erasmus.stop era;
+    (elapsed, device.Ra_device.Device.cache)
+  in
+  let uncached_s, _ = run ~digest_cache:false in
+  let cached_s, cache = run ~digest_cache:true in
+  let stats =
+    match cache with
+    | Some c -> Ra_cache.stats c
+    | None -> { Ra_cache.hits = 0; store_hits = 0; misses = 0 }
+  in
+  [
+    seconds_metric ~name:"erasmus_10r_uncached_s" uncached_s;
+    seconds_metric ~name:"erasmus_10r_cached_s" cached_s;
+    ratio_metric ~name:"erasmus_cached_speedup_x" (uncached_s /. cached_s);
+    count_metric ~name:"erasmus_cache_hits" stats.Ra_cache.hits;
+    count_metric ~name:"erasmus_cache_misses" stats.Ra_cache.misses;
+  ]
 
 let sim_metrics ?(quick = false) ?jobs () =
   let budget = if quick then 0.15 else 1.0 in
@@ -110,6 +221,8 @@ let sim_metrics ?(quick = false) ?jobs () =
     seconds_metric ~name:"smarm_game_wall_s" game_s;
     seconds_metric ~name:"detection_rate_wall_s" detection_s;
   ]
+  @ fleet_metrics ?jobs ()
+  @ erasmus_metrics ()
 
 (* --- JSON emit ----------------------------------------------------------- *)
 
@@ -132,9 +245,10 @@ let to_json { suite; metrics } =
   let metric m =
     Printf.sprintf
       "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", \
-       \"higher_is_better\": %b}"
+       \"higher_is_better\": %b, \"exact\": %b}"
       (escape_string m.name) m.value (escape_string m.unit_)
       (m.direction = Higher_is_better)
+      m.exact
   in
   Printf.sprintf
     "{\n  \"schema\": \"ra-bench/1\",\n  \"suite\": \"%s\",\n  \"metrics\": [\n%s\n  ]\n}\n"
@@ -345,7 +459,14 @@ let suite_of_json json =
                 | J_bool false -> Lower_is_better
                 | _ -> raise (Parse_error "higher_is_better must be a bool")
               in
-              { name; value; unit_; direction }
+              (* optional for compatibility with pre-exact baselines *)
+              let exact =
+                match List.assoc_opt "exact" m with
+                | Some (J_bool b) -> b
+                | Some _ -> raise (Parse_error "exact must be a bool")
+                | None -> false
+              in
+              { name; value; unit_; direction; exact }
             | _ -> raise (Parse_error "metric must be an object"))
           items
       | _ -> raise (Parse_error "metrics must be an array")
@@ -389,9 +510,11 @@ let compare_suites ~tolerance ~baseline ~current =
       | Some cur ->
         let ratio = cur.value /. base.value in
         let regressed =
-          match base.direction with
-          | Higher_is_better -> ratio < 1. -. tolerance
-          | Lower_is_better -> ratio > 1. +. tolerance
+          if base.exact then cur.value <> base.value
+          else
+            match base.direction with
+            | Higher_is_better -> ratio < 1. -. tolerance
+            | Lower_is_better -> ratio > 1. +. tolerance
         in
         {
           metric = base.name;

@@ -13,9 +13,16 @@ type metric = {
   value : float;
   unit_ : string;
   direction : direction;
+  exact : bool;
+      (** deterministic count (events/bytes/hits): must reproduce
+          bit-for-bit on any host, so comparison checks equality and
+          ignores the tolerance *)
 }
 
 type suite = { suite : string; metrics : metric list }
+
+val wall : (unit -> 'a) -> 'a * float
+(** Result of the thunk and its wall-clock seconds. *)
 
 val crypto_metrics : ?quick:bool -> unit -> metric list
 (** MB/s of the four hashes plus HMAC-SHA-256 over a pseudo-random buffer.
@@ -23,7 +30,18 @@ val crypto_metrics : ?quick:bool -> unit -> metric list
 
 val sim_metrics : ?quick:bool -> ?jobs:int -> unit -> metric list
 (** Engine events/s plus wall-times of the Table 1, chaos, SMARM-game and
-    detection-rate drivers ([jobs] is forwarded to the parallel ports). *)
+    detection-rate drivers ([jobs] is forwarded to the parallel ports),
+    followed by {!fleet_metrics} and {!erasmus_metrics}. *)
+
+val fleet_metrics : ?jobs:int -> unit -> metric list
+(** 1000-device shared-firmware roll call: wall time plus exact verdict
+    and cache counters. Same size in quick and full mode so the exact
+    metrics reproduce everywhere. *)
+
+val erasmus_metrics : unit -> metric list
+(** ERASMUS, 10 self-measurement rounds with <1% of blocks written
+    between rounds, with the digest cache off and on: wall times, the
+    cached speedup, and exact hit/miss counts. *)
 
 val to_json : suite -> string
 

@@ -64,6 +64,8 @@ let run setup ~scheme ~adversary =
         data_blocks = setup.data_blocks;
         cost = setup.cost;
         key = Device.default_config.Device.key;
+        digest_cache = Device.default_config.Device.digest_cache;
+        store = None;
       }
   in
   let eng = device.Device.engine in

@@ -1,29 +1,25 @@
-type event_id = int
+(* The cancellation handle IS the queued cell: cancelling flips its [active]
+   flag in place and popping flips it back off, so there is no id-to-event
+   table to maintain (the old Hashtbl dominated the hot path) and a cancel
+   after the event fired is naturally a no-op. [live] counts queued active
+   events; a cell leaves the live count exactly once, on cancel or on pop. *)
+type event_id = { callback : t -> unit; mutable active : bool }
 
-(* The heap payload carries its own cancellation flag; [tracked] indexes the
-   queued-and-live events by id. An entry leaves [tracked] exactly when it
-   is cancelled or popped, so the table never outgrows the queue — cancelling
-   an id that already fired (or was never issued) is a no-op rather than a
-   permanent tombstone and a corrupted [live] counter. *)
-type t = {
+and t = {
   mutable clock : Timebase.t;
   mutable next_seq : int;
   mutable live : int;
-  queue : cell Heap.t;
-  tracked : (event_id, cell) Hashtbl.t;
+  queue : event_id Eventq.t;
   prng : Prng.t;
   trace : Trace.t;
 }
-
-and cell = { callback : t -> unit; mutable active : bool }
 
 let create ?(seed = 42) () =
   {
     clock = Timebase.zero;
     next_seq = 0;
     live = 0;
-    queue = Heap.create ();
-    tracked = Hashtbl.create 64;
+    queue = Eventq.create ();
     prng = Prng.create ~seed;
     trace = Trace.create ();
   }
@@ -46,55 +42,44 @@ let schedule t ~at callback =
   t.next_seq <- seq + 1;
   t.live <- t.live + 1;
   let cell = { callback; active = true } in
-  Hashtbl.replace t.tracked seq cell;
-  Heap.push t.queue ~key:at ~seq cell;
-  seq
+  Eventq.push t.queue ~key:at ~seq cell;
+  cell
 
 let schedule_after t ~delay callback =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule t ~at:(Timebase.add t.clock delay) callback
 
-let cancel t id =
-  match Hashtbl.find_opt t.tracked id with
-  | None -> () (* already fired, already cancelled, or never issued *)
-  | Some cell ->
+let cancel t cell =
+  if cell.active then begin
     cell.active <- false;
-    Hashtbl.remove t.tracked id;
     t.live <- t.live - 1
+  end
 
 let pending t = t.live
 
-let tracked_events t = Hashtbl.length t.tracked
+let tracked_events t = t.live
 
-(* Pop until a non-cancelled event is found. *)
-let rec pop_live t =
-  match Heap.pop t.queue with
-  | None -> None
-  | Some (time, seq, cell) ->
-    if cell.active then begin
-      Hashtbl.remove t.tracked seq;
-      Some (time, cell.callback)
+(* Drop cancelled entries off the top of the queue. After this either the
+   queue is empty or its minimum is live. *)
+let rec settle t =
+  if not (Eventq.is_empty t.queue) then
+    if not (Eventq.min_value t.queue).active then begin
+      Eventq.drop_min t.queue;
+      settle t
     end
-    else pop_live t
 
 let step t =
-  match pop_live t with
-  | None -> false
-  | Some (time, callback) ->
-    t.clock <- time;
+  settle t;
+  if Eventq.is_empty t.queue then false
+  else begin
+    let cell = Eventq.min_value t.queue in
+    t.clock <- Eventq.min_key t.queue;
+    Eventq.drop_min t.queue;
+    cell.active <- false;
     t.live <- t.live - 1;
-    callback t;
+    cell.callback t;
     true
-
-let rec peek_live t =
-  match Heap.peek t.queue with
-  | None -> None
-  | Some (time, _, cell) ->
-    if cell.active then Some time
-    else begin
-      ignore (Heap.pop t.queue);
-      peek_live t
-    end
+  end
 
 let run ?until t =
   match until with
@@ -102,8 +87,9 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      match peek_live t with
-      | Some time when time <= horizon -> ignore (step t)
-      | Some _ | None -> continue := false
+      settle t;
+      if Eventq.is_empty t.queue || Eventq.min_key t.queue > horizon then
+        continue := false
+      else ignore (step t)
     done;
     if t.clock < horizon then t.clock <- horizon

@@ -7,7 +7,8 @@
 type t
 
 type event_id
-(** Handle for cancellation. *)
+(** Handle for cancellation. The handle is the queued event itself, so
+    cancellation is O(1) flag flip with no side table. *)
 
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] starts at time 0 with an empty queue. Default seed 42. *)
@@ -40,9 +41,10 @@ val pending : t -> int
 (** Number of live (non-cancelled) queued events. *)
 
 val tracked_events : t -> int
-(** Size of the internal id-to-event table — equals {!pending}, and in
-    particular stays bounded by the queue length no matter how many events
-    are cancelled over the engine's lifetime (diagnostic for tests). *)
+(** Number of live tracked events — equals {!pending}, and in particular
+    stays bounded by the queue length no matter how many events are
+    cancelled over the engine's lifetime (diagnostic for tests; there is
+    no longer a side table, so this is simply the live count). *)
 
 val step : t -> bool
 (** Execute the next event. Returns [false] if the queue was empty. *)

@@ -82,10 +82,21 @@ let run config ~infected =
         { id; kids = children config id; own_digest = None; child_aggregates = []; sent_up = false })
   in
   let nonce = Prng.bytes (Engine.prng eng) 16 in
-  let expected_digest id =
-    Ra_crypto.Mac_stream.mac Ra_crypto.Algo.SHA_256 ~key:(node_key config id)
-      (Bytes.concat Bytes.empty [ nonce; node_firmware config ~infected:[] id ])
+  (* Hash-then-MAC through a per-round content-addressed store: the unkeyed
+     firmware digest is shared between a node's own measurement and the
+     root's expected value, so each distinct firmware is hashed once per
+     round instead of once per side. *)
+  let store = Ra_cache.Store.create () in
+  let firmware_digest ~infected id =
+    snd
+      (Ra_cache.Store.digest store Ra_crypto.Algo.SHA_256
+         (node_firmware config ~infected id))
   in
+  let node_mac ~infected id =
+    Ra_crypto.Mac_stream.mac Ra_crypto.Algo.SHA_256 ~key:(node_key config id)
+      (Bytes.concat Bytes.empty [ nonce; firmware_digest ~infected id ])
+  in
+  let expected_digest id = node_mac ~infected:[] id in
   let measure_duration =
     Cost_model.hash_time config.cost Ra_crypto.Algo.SHA_256
       ~bytes:config.modeled_node_bytes
@@ -159,12 +170,7 @@ let run config ~infected =
     (* Measure own firmware: real digest over real bytes, model-time cost. *)
     ignore
       (Engine.schedule_after eng ~delay:measure_duration (fun _ ->
-           let firmware = node_firmware config ~infected id in
-           state.own_digest <-
-             Some
-               (Ra_crypto.Mac_stream.mac Ra_crypto.Algo.SHA_256
-                  ~key:(node_key config id)
-                  (Bytes.concat Bytes.empty [ nonce; firmware ]));
+           state.own_digest <- Some (node_mac ~infected id);
            if List.length state.child_aggregates = List.length state.kids then
              send_up state));
     ignore

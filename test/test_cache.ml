@@ -1,0 +1,229 @@
+(* Tests for the two-level digest cache: cached vs uncached measurement
+   bit-identity under adversarial write schedules, version-keyed
+   invalidation, cross-device sharing through the content-addressed store,
+   and jobs-invariance of fleet roll-call counters. *)
+
+open Ra_sim
+open Ra_device
+open Ra_core
+open Ra_malware
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let blocks = 4
+
+let small_config ?store () =
+  {
+    Device.default_config with
+    Device.blocks;
+    block_size = 64;
+    modeled_block_bytes = 64;
+    seed = 3;
+    store;
+  }
+
+let hash = Ra_crypto.Algo.SHA_256
+let nonce = Bytes.of_string "cache-test-nonce"
+let order = Array.init blocks (fun i -> i)
+
+(* The measurement a verifier would check, computed two ways over the same
+   live memory: through the device's cache, and from scratch. *)
+let cached_mac device =
+  let digests = Array.map (Mp.block_digest device hash) order in
+  Mp.mac_over_digests ~hash ~key:device.Device.config.Device.key ~nonce
+    ~counter:None ~order ~digests
+
+let uncached_mac device =
+  Mp.mac_over ~hash ~key:device.Device.config.Device.key ~nonce ~counter:None
+    ~order
+    ~block_content:(Memory.read_block device.Device.memory)
+
+(* --- cached = uncached under adversarial schedules ----------------------- *)
+
+type op =
+  | Write of int * int  (** block, byte value *)
+  | Cow_lock of int
+  | Unlock of int
+  | Relocate  (** drive the self-relocating malware's measurement hook *)
+
+let op_to_string = function
+  | Write (b, v) -> Printf.sprintf "Write(%d,%d)" b v
+  | Cow_lock b -> Printf.sprintf "Cow_lock(%d)" b
+  | Unlock b -> Printf.sprintf "Unlock(%d)" b
+  | Relocate -> "Relocate"
+
+let ops_arbitrary =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (4, map2 (fun b v -> Write (b, v)) (int_bound (blocks - 1)) (int_bound 255));
+        (2, map (fun b -> Cow_lock b) (int_bound (blocks - 1)));
+        (2, map (fun b -> Unlock b) (int_bound (blocks - 1)));
+        (2, return Relocate);
+      ]
+  in
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+    (list_size (1 -- 40) op)
+
+let apply device malware ~time = function
+  | Write (block, v) -> (
+    match
+      Memory.write device.Device.memory ~time ~block ~offset:0
+        (Bytes.make 8 (Char.chr v))
+    with
+    | Ok () | Error (Memory.Locked _) -> ())
+  | Cow_lock block -> Memory.lock_cow device.Device.memory block
+  | Unlock block -> Memory.unlock ~time device.Device.memory block
+  | Relocate ->
+    (* immediate hop (or a blocked attempt, if locks are in the way) *)
+    Malware.on_block_measured malware ~measured:1 ~total:blocks
+
+let prop_cached_equals_uncached =
+  QCheck.Test.make ~name:"cached MAC = uncached MAC under any schedule"
+    ~count:100 ops_arbitrary (fun ops ->
+      let store = Ra_cache.Store.create () in
+      let device = Device.create (small_config ~store ()) in
+      let malware =
+        Malware.install device
+          ~rng:(Prng.create ~seed:42)
+          ~block:(blocks - 1) ~priority:7
+          (Malware.Self_relocating Malware.Uniform_hop)
+      in
+      (* warm the cache, then interleave checks with the schedule: every
+         content change (write, shadow merge, relocation) must bump the
+         version and invalidate, or a stale digest shows up as a MAC
+         mismatch *)
+      let ok = ref (Bytes.equal (cached_mac device) (uncached_mac device)) in
+      List.iteri
+        (fun i op ->
+          apply device malware ~time:((i + 1) * 10) op;
+          if not (Bytes.equal (cached_mac device) (uncached_mac device)) then
+            ok := false)
+        ops;
+      (* release any cow locks left by the schedule and re-check: shadow
+         merges are content changes too *)
+      Memory.unlock_all ~time:10_000 device.Device.memory;
+      !ok && Bytes.equal (cached_mac device) (uncached_mac device))
+
+let test_relocation_invalidates () =
+  let device = Device.create (small_config ()) in
+  let benign = cached_mac device in
+  let malware =
+    Malware.install device
+      ~rng:(Prng.create ~seed:7)
+      ~block:1 ~priority:7
+      (Malware.Self_relocating Malware.Uniform_hop)
+  in
+  let infected = cached_mac device in
+  check Alcotest.bool "infection changes the cached MAC" false
+    (Bytes.equal benign infected);
+  (* force hops until one actually relocates *)
+  let rec force n =
+    if Malware.relocations malware = 0 && n < 100 then begin
+      Malware.on_block_measured malware ~measured:1 ~total:blocks;
+      force (n + 1)
+    end
+  in
+  force 0;
+  check Alcotest.bool "malware relocated" true (Malware.relocations malware > 0);
+  check Alcotest.bytes "cached tracks the move" (uncached_mac device)
+    (cached_mac device)
+
+(* --- cross-device sharing ------------------------------------------------ *)
+
+let test_store_shares_across_devices () =
+  let store = Ra_cache.Store.create () in
+  let k = 4 in
+  let devices =
+    List.init k (fun _ -> Device.create (small_config ~store ()))
+  in
+  List.iter
+    (fun d -> Array.iter (fun b -> ignore (Mp.block_digest d hash b)) order)
+    devices;
+  (* identical firmware: each distinct block content hashed exactly once
+     fleet-wide, every other demand served by the store *)
+  check Alcotest.int "lookups" (k * blocks) (Ra_cache.Store.lookups store);
+  check Alcotest.int "computed once per distinct block" blocks
+    (Ra_cache.Store.computed store);
+  check Alcotest.int "distinct contents" blocks
+    (Ra_cache.Store.distinct_contents store);
+  let stats d = Ra_cache.stats (Option.get d.Device.cache) in
+  (match devices with
+  | first :: rest ->
+    check Alcotest.int "first device computes" blocks (stats first).Ra_cache.misses;
+    List.iter
+      (fun d ->
+        check Alcotest.int "later devices hit the store" blocks
+          (stats d).Ra_cache.store_hits)
+      rest
+  | [] -> assert false);
+  (* a second measurement round is all level-1 memo hits *)
+  let first = List.hd devices in
+  Array.iter (fun b -> ignore (Mp.block_digest first hash b)) order;
+  check Alcotest.int "re-measurement memo hits" blocks
+    (stats first).Ra_cache.hits;
+  check Alcotest.int "store not consulted again" (k * blocks)
+    (Ra_cache.Store.lookups store)
+
+let test_cache_accounting () =
+  let cost = Device.default_config.Device.cost in
+  let acc =
+    Cost_model.cache_accounting cost hash ~block_bytes:1024 ~hits:3 ~misses:1
+  in
+  check Alcotest.int "blocks hashed" 1 acc.Cost_model.blocks_hashed;
+  check Alcotest.int "blocks hit" 3 acc.Cost_model.blocks_hit;
+  (* modeled time is charged for hits and misses alike *)
+  check Alcotest.bool "hit time charged" true
+    (acc.Cost_model.modeled_ns_hit = 3. /. 4. *. acc.Cost_model.modeled_ns_total);
+  check Alcotest.bool "total positive" true (acc.Cost_model.modeled_ns_total > 0.)
+
+(* --- fleet roll call ----------------------------------------------------- *)
+
+let build_fleet () =
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "cache test master") in
+  let config = { (small_config ()) with Device.blocks = 8 } in
+  for i = 0 to 5 do
+    ignore (Fleet.provision fleet (Printf.sprintf "dev-%d" i) ~config ())
+  done;
+  ignore
+    (Malware.install (Fleet.device fleet "dev-2")
+       ~rng:(Prng.create ~seed:5)
+       ~block:3 ~priority:7 Malware.Static);
+  fleet
+
+let test_roll_call_jobs_invariant () =
+  let rc1 = Fleet.roll_call (build_fleet ()) ~jobs:1 Mp.default_config in
+  let rc3 = Fleet.roll_call (build_fleet ()) ~jobs:3 Mp.default_config in
+  check (Alcotest.list Alcotest.string) "tampered" [ "dev-2" ] rc1.Fleet.tampered;
+  check Alcotest.int "clean count" 5 (List.length rc1.Fleet.clean);
+  check Alcotest.bool "roll calls identical across jobs" true (rc1 = rc3);
+  check Alcotest.int "requests add up" rc1.Fleet.digest_requests
+    (rc1.Fleet.cache_hits + rc1.Fleet.store_hits + rc1.Fleet.hashed);
+  check Alcotest.bool "sharing happened" true (rc1.Fleet.store_hits > 0);
+  check Alcotest.bool "hit rate sane" true
+    (Fleet.hit_rate rc1 > 0. && Fleet.hit_rate rc1 <= 1.)
+
+let () =
+  Alcotest.run "ra_cache"
+    [
+      ( "bit-identity",
+        [
+          qtest prop_cached_equals_uncached;
+          Alcotest.test_case "relocation invalidates" `Quick
+            test_relocation_invalidates;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "store shared across devices" `Quick
+            test_store_shares_across_devices;
+          Alcotest.test_case "cost accounting" `Quick test_cache_accounting;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "roll call jobs-invariant" `Quick
+            test_roll_call_jobs_invariant;
+        ] );
+    ]

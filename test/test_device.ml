@@ -133,6 +133,63 @@ let test_memory_cow_clean_release () =
   check Alcotest.int "no journal entries without shadows" 0
     (List.length (Memory.writes_between m 0 100))
 
+(* Regression: releasing a cow lock with a pending shadow used to default
+   to time:0, journaling the merge at virtual time 0 and corrupting every
+   temporal-consistency reconstruction after it. It must now demand an
+   explicit release time. *)
+let test_memory_unlock_requires_time_with_shadow () =
+  let m = make_memory () in
+  Memory.lock_cow m 2;
+  (match Memory.write m ~time:10 ~block:2 ~offset:0 (Bytes.of_string "shadowed") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "cow write should succeed");
+  Alcotest.check_raises "unlock without ~time raises"
+    (Invalid_argument
+       "Memory.unlock: releasing a cow lock with a pending shadow requires \
+        ~time")
+    (fun () -> Memory.unlock m 2);
+  (* the rejected release must leave the lock and shadow untouched *)
+  check Alcotest.bool "still locked" true (Memory.is_locked m 2);
+  check Alcotest.bool "shadow retained" true (Memory.has_shadow m 2);
+  Memory.unlock ~time:30 m 2;
+  (match Memory.writes_between m 0 100 with
+  | [ (30, 2) ] -> ()
+  | _ -> Alcotest.fail "merge should journal at the explicit release time");
+  (* shadow-free cow locks and plain locks still release without a time *)
+  Memory.lock_cow m 3;
+  Memory.unlock m 3;
+  Memory.lock m 1;
+  Memory.unlock m 1;
+  check Alcotest.int "all released" 0 (Memory.locked_count m)
+
+let test_memory_versions () =
+  let m = make_memory () in
+  check Alcotest.int "fresh block at version 0" 0 (Memory.version m 1);
+  (match Memory.write m ~time:5 ~block:1 ~offset:0 (Bytes.of_string "x") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write should succeed");
+  check Alcotest.int "write bumps" 1 (Memory.version m 1);
+  check Alcotest.int "other blocks untouched" 0 (Memory.version m 2);
+  (* rejected write on a hard lock must not bump *)
+  Memory.lock m 1;
+  (match Memory.write m ~time:6 ~block:1 ~offset:0 (Bytes.of_string "y") with
+  | Error (Memory.Locked _) -> ()
+  | Ok () -> Alcotest.fail "locked write should fail");
+  check Alcotest.int "rejected write does not bump" 1 (Memory.version m 1);
+  Memory.unlock m 1;
+  (* diverted cow writes bump only at merge: readers see frozen bytes, so
+     the version (the cache key) must stay frozen with them *)
+  Memory.lock_cow m 1;
+  (match Memory.write m ~time:10 ~block:1 ~offset:0 (Bytes.of_string "z") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "cow write should succeed");
+  check Alcotest.int "diverted write does not bump" 1 (Memory.version m 1);
+  Memory.unlock ~time:20 m 1;
+  check Alcotest.int "merge bumps once" 2 (Memory.version m 1);
+  (* with_block exposes the live bytes without copying *)
+  Memory.with_block m 1 (fun content ->
+      check Alcotest.char "live view" 'z' (Bytes.get content 0))
+
 let prop_journal_replay =
   QCheck.Test.make ~name:"content_at replays any prefix" ~count:50
     QCheck.(list_of_size Gen.(1 -- 20) (pair (int_range 0 3) (int_range 0 255)))
@@ -498,6 +555,9 @@ let () =
           Alcotest.test_case "journal" `Quick test_memory_journal;
           Alcotest.test_case "copy-on-write lock" `Quick test_memory_cow_lock;
           Alcotest.test_case "cow clean release" `Quick test_memory_cow_clean_release;
+          Alcotest.test_case "unlock with shadow requires time" `Quick
+            test_memory_unlock_requires_time_with_shadow;
+          Alcotest.test_case "block versions" `Quick test_memory_versions;
           qtest prop_journal_replay;
         ] );
       ( "cpu",

@@ -142,6 +142,74 @@ let prop_heap_sorted =
       let popped = drain [] in
       popped = List.sort Int.compare popped)
 
+(* The contract both priority-queue implementations share: the pop
+   sequence equals a stable sort of the pushed entries by (key, seq).
+   Run against the legacy boxed Heap and the structure-of-arrays Eventq
+   that replaced it on the engine hot path. *)
+let prop_pop_is_stable_sort name push_all drain =
+  QCheck.Test.make
+    ~name:(name ^ " pop sequence = stable sort by (key, seq)")
+    ~count:300
+    QCheck.(list (int_range (-50) 50))
+    (fun keys ->
+      let entries = List.mapi (fun seq k -> (k, seq)) keys in
+      let expected =
+        List.stable_sort
+          (fun (k1, s1) (k2, s2) ->
+            match compare k1 k2 with 0 -> compare s1 s2 | c -> c)
+          entries
+      in
+      drain (push_all entries) = expected)
+
+let prop_heap_stable_sort =
+  prop_pop_is_stable_sort "Heap"
+    (fun entries ->
+      let h = Heap.create () in
+      List.iter (fun (k, seq) -> Heap.push h ~key:k ~seq (k, seq)) entries;
+      h)
+    (fun h ->
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (_, _, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      drain [])
+
+let prop_eventq_stable_sort =
+  prop_pop_is_stable_sort "Eventq"
+    (fun entries ->
+      let q = Eventq.create () in
+      List.iter (fun (k, seq) -> Eventq.push q ~key:k ~seq (k, seq)) entries;
+      q)
+    (fun q ->
+      let rec drain acc =
+        if Eventq.is_empty q then List.rev acc
+        else begin
+          let v = Eventq.min_value q in
+          Eventq.drop_min q;
+          drain (v :: acc)
+        end
+      in
+      drain [])
+
+let test_eventq_min_accessors () =
+  let q = Eventq.create () in
+  check Alcotest.bool "empty" true (Eventq.is_empty q);
+  check Alcotest.bool "min_key raises" true
+    (match Eventq.min_key q with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Eventq.push q ~key:7 ~seq:0 "late";
+  Eventq.push q ~key:2 ~seq:1 "early";
+  check Alcotest.int "min_key" 2 (Eventq.min_key q);
+  check Alcotest.int "min_seq" 1 (Eventq.min_seq q);
+  check Alcotest.string "min_value" "early" (Eventq.min_value q);
+  check Alcotest.int "length" 2 (Eventq.length q);
+  Eventq.drop_min q;
+  check Alcotest.string "next" "late" (Eventq.min_value q);
+  Eventq.clear q;
+  check Alcotest.bool "cleared" true (Eventq.is_empty q)
+
 let test_heap_peek_clear () =
   let h = Heap.create () in
   check Alcotest.bool "empty" true (Heap.is_empty h);
@@ -433,6 +501,12 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "peek/clear" `Quick test_heap_peek_clear;
           qtest prop_heap_sorted;
+          qtest prop_heap_stable_sort;
+        ] );
+      ( "eventq",
+        [
+          Alcotest.test_case "min accessors" `Quick test_eventq_min_accessors;
+          qtest prop_eventq_stable_sort;
         ] );
       ( "timebase",
         [
