@@ -1,4 +1,4 @@
-.PHONY: build test chaos check bench bench-json bench-check clean
+.PHONY: build test chaos fleet-chaos check bench bench-json bench-check clean
 
 build:
 	dune build
@@ -11,7 +11,14 @@ test: build
 chaos: build
 	dune exec bin/ratool.exe -- chaos --trials 50
 
-check: build test chaos
+# The fleet gate: 200 devices under the health supervisor with scheduled
+# crash/partition/corruption/malware faults; asserts convergence invariants
+# and that counters are bit-identical across job counts. Exits non-zero on
+# any violation.
+fleet-chaos: build
+	dune exec bin/ratool.exe -- fleet-chaos --devices 200 --jobs 4 --check-jobs 1
+
+check: build test chaos fleet-chaos
 
 # Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build

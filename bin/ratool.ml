@@ -548,7 +548,12 @@ let run_chaos () seed trials =
     let summary = Chaos.run ~seed ~trials () in
     print_string (Chaos.render summary);
     if summary.Chaos.violations = [] then `Ok ()
-    else `Error (false, "chaos invariants violated")
+    else begin
+      (* explicit exit 1 (not cmdliner's 124): a violated recovery
+         invariant is a test failure, not a CLI usage error *)
+      prerr_endline "ratool chaos: recovery invariants violated";
+      exit 1
+    end
   end
 
 let chaos_cmd =
@@ -558,6 +563,87 @@ let chaos_cmd =
   in
   let info = Cmd.info "chaos" ~doc in
   Cmd.v info Term.(ret (const run_chaos $ jobs_term $ seed_arg $ trials_arg 50))
+
+(* --- fleet-chaos ------------------------------------------------------------ *)
+
+let run_fleet_chaos devices jobs seed rounds check_jobs =
+  if devices < 1 then `Error (true, "--devices must be at least 1")
+  else if jobs < 1 then `Error (true, "--jobs must be at least 1")
+  else begin
+    let r = Fleet_chaos.run ~devices ~seed ~jobs ~max_rounds:rounds () in
+    print_string (Fleet_chaos.render r);
+    let digest = r.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest in
+    let mismatches =
+      match check_jobs with
+      | None -> []
+      | Some spec ->
+        List.filter_map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | None | Some 0 ->
+              Some (Printf.sprintf "bad --check-jobs entry %S" s)
+            | Some j ->
+              let r' =
+                Fleet_chaos.run ~devices ~seed ~jobs:j ~max_rounds:rounds ()
+              in
+              let digest' =
+                r'.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest
+              in
+              if String.equal digest digest' then begin
+                Printf.printf "jobs=%d: counters bit-identical\n" j;
+                None
+              end
+              else
+                Some
+                  (Printf.sprintf "jobs=%d diverged:\n  %s\n  %s" j digest
+                     digest'))
+          (String.split_on_char ',' spec)
+    in
+    if r.Fleet_chaos.violations = [] && mismatches = [] then `Ok ()
+    else begin
+      List.iter (fun m -> Printf.eprintf "ratool fleet-chaos: %s\n" m) mismatches;
+      prerr_endline "ratool fleet-chaos: convergence invariants violated";
+      exit 1
+    end
+  end
+
+let fleet_chaos_cmd =
+  let doc =
+    "Fleet-scale chaos: crash/partition/corruption/malware faults on a \
+     deterministic schedule under the health supervisor, asserting \
+     convergence invariants (and jobs-invariant counters with \
+     $(b,--check-jobs))"
+  in
+  let devices_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "devices" ] ~docv:"N" ~doc:"Fleet size (fault kinds cycle every 10 devices).")
+  in
+  let fc_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Domains supervising the fleet (results are identical for any value).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"R" ~doc:"Supervision round budget (30 s of virtual time each).")
+  in
+  let check_jobs_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check-jobs" ] ~docv:"J1,J2"
+          ~doc:
+            "Re-run the whole experiment at each of these job counts and fail \
+             unless every counter digest is bit-identical.")
+  in
+  let info = Cmd.info "fleet-chaos" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run_fleet_chaos $ devices_arg $ fc_jobs_arg $ seed_arg
+       $ rounds_arg $ check_jobs_arg))
 
 (* --- bench ------------------------------------------------------------------ *)
 
@@ -697,6 +783,7 @@ let main =
       heartbeat_cmd;
       fleet_cmd;
       chaos_cmd;
+      fleet_chaos_cmd;
       bench_cmd;
       all_cmd;
     ]

@@ -1,0 +1,120 @@
+(* A fleet that heals itself.
+
+   Run with: dune exec examples/self_healing_fleet.exe
+
+   50 devices under one supervisor. At t=35 s malware lands on three of
+   them; two others fall into a crash loop (down 400 ms of every 500 ms)
+   from t=30 s on. Every 30 s supervision round the fleet is measured, the
+   per-device health machines move, and the timeline below prints one glyph
+   per device:
+
+     .  Healthy       ?  Suspect      u  Unreachable   C  Compromised
+     Q  Quarantined   r  Remediating  p  Probation
+
+   Watch the three infected devices march C -> Q -> r -> p -> . (detected,
+   isolated, reflashed, on probation, re-admitted) while the crash-loopers
+   drift ? -> u -> Q as their circuit breakers burn through the probe
+   budget. The run ends when the fleet converges: every device Healthy or
+   Quarantined with a recorded reason, and a full round passes with no
+   transition. *)
+
+open Ra_sim
+open Ra_device
+open Ra_core
+open Ra_supervisor
+
+let fleet_size = 50
+let infected = [ 7; 23; 41 ]
+let crash_loopers = [ 11; 30 ]
+
+let glyph = function
+  | Health.Healthy -> '.'
+  | Health.Suspect -> '?'
+  | Health.Unreachable -> 'u'
+  | Health.Compromised -> 'C'
+  | Health.Quarantined -> 'Q'
+  | Health.Remediating -> 'r'
+  | Health.Probation -> 'p'
+
+let () =
+  let fleet =
+    Fleet.create
+      ~master_secret:(Bytes.of_string "self-healing fleet example secret")
+  in
+  let ids =
+    List.init fleet_size (fun i ->
+        let id = Printf.sprintf "dev-%02d" i in
+        ignore
+          (Fleet.provision fleet id
+             ~config:
+               {
+                 Device.default_config with
+                 Device.blocks = 16;
+                 block_size = 256;
+                 modeled_block_bytes = 1024 * 1024;
+               }
+             ());
+        id)
+  in
+  let sup = Supervisor.create fleet in
+  List.iter
+    (fun i ->
+      let device = Fleet.device fleet (Printf.sprintf "dev-%02d" i) in
+      ignore
+        (Ra_malware.Malware.install device
+           ~rng:(Prng.create ~seed:(100 + i))
+           ~block:(i mod 16) ~priority:8
+           (Ra_malware.Malware.Transient
+              { enter = Timebase.s 35; leave = Timebase.s 100_000 })))
+    infected;
+  List.iter
+    (fun i ->
+      let device = Fleet.device fleet (Printf.sprintf "dev-%02d" i) in
+      let eng = device.Device.engine in
+      let rec tick _ =
+        Device.crash ~reboot_delay:(Timebase.ms 400) device;
+        ignore (Engine.schedule_after eng ~delay:(Timebase.ms 500) tick)
+      in
+      ignore (Engine.schedule_after eng ~delay:(Timebase.s 30) tick))
+    crash_loopers;
+  Printf.printf "50-device fleet: malware on %s at t=35s, crash loops on %s from t=30s\n"
+    (String.concat ", " (List.map (Printf.sprintf "dev-%02d") infected))
+    (String.concat ", " (List.map (Printf.sprintf "dev-%02d") crash_loopers));
+  Printf.printf "legend: .=healthy ?=suspect u=unreachable C=compromised Q=quarantined r=remediating p=probation\n\n";
+  let states () = List.map (fun id -> Supervisor.health sup id) ids in
+  let print_row round states =
+    Printf.printf "round %2d (t=%3ds)  %s\n" round (round * 30)
+      (String.init fleet_size (fun i -> glyph (List.nth states i)))
+  in
+  let rec loop prev =
+    let report = Supervisor.report sup in
+    (* the faults land from t=30 s on, so don't trust an early quiet round *)
+    if
+      (report.Supervisor.converged && Supervisor.rounds_run sup >= 4)
+      || Supervisor.rounds_run sup >= 20
+    then ()
+    else begin
+      Supervisor.round sup;
+      let now = states () in
+      if now <> prev || Supervisor.rounds_run sup <= 1 then
+        print_row (Supervisor.rounds_run sup) now;
+      loop now
+    end
+  in
+  print_row 0 (states ());
+  loop (states ());
+  let report = Supervisor.report sup in
+  Printf.printf "\nconverged after %d rounds: %d healthy, %d quarantined\n"
+    report.Supervisor.rounds
+    (List.length report.Supervisor.healthy)
+    (List.length report.Supervisor.quarantined);
+  List.iter
+    (fun (id, reason) ->
+      Printf.printf "  %s quarantined: %s\n" id (Health.cause_to_string reason))
+    report.Supervisor.quarantined;
+  List.iter
+    (fun (id, round) ->
+      Printf.printf "  %s detected tampered in round %d, remediated: %b\n" id
+        round
+        (List.mem id report.Supervisor.remediated))
+    report.Supervisor.detections

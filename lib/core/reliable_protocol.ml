@@ -149,6 +149,10 @@ let run device verifier config ?rtt ?(mp_hooks = Mp.null_hooks) ~on_done () =
   let finish verdict =
     if not !finished then begin
       finished := true;
+      (match (rtt, verdict) with
+      | Some estimator, Some _ -> Rtt.note_success estimator
+      | Some estimator, None -> Rtt.note_gave_up estimator
+      | None, _ -> ());
       let now = Engine.now eng in
       let deliver () =
         on_done

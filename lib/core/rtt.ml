@@ -1,6 +1,7 @@
 open Ra_sim
 
 type t = {
+  initial_rto : Timebase.t;
   min_rto : Timebase.t;
   max_rto : Timebase.t;
   mutable srtt : float;
@@ -9,6 +10,8 @@ type t = {
   mutable rto : Timebase.t;
   mutable samples : int;
   mutable backoffs : int;
+  mutable clamped : int;
+  mutable gave_up : bool;
 }
 
 let create ?(initial_rto = Timebase.s 15) ?(min_rto = Timebase.ms 200)
@@ -16,6 +19,7 @@ let create ?(initial_rto = Timebase.s 15) ?(min_rto = Timebase.ms 200)
   if min_rto <= 0 || max_rto < min_rto || initial_rto <= 0 then
     invalid_arg "Rtt.create: bad bounds";
   {
+    initial_rto = min (max initial_rto min_rto) max_rto;
     min_rto;
     max_rto;
     srtt = 0.;
@@ -24,6 +28,8 @@ let create ?(initial_rto = Timebase.s 15) ?(min_rto = Timebase.ms 200)
     rto = min (max initial_rto min_rto) max_rto;
     samples = 0;
     backoffs = 0;
+    clamped = 0;
+    gave_up = false;
   }
 
 let clamp t v =
@@ -34,8 +40,18 @@ let clamp t v =
    The caller enforces Karn's rule by only feeding samples from exchanges
    that were never retransmitted. *)
 let observe t sample =
-  if sample < 0 then invalid_arg "Rtt.observe: negative sample";
-  let r = float_of_int sample in
+  (* A prover whose clock reset mid-exchange (reboot) can hand back a
+     timestamp that makes the apparent RTT zero or negative. Folding that
+     into SRTT would poison the estimator (and a negative RTTVAR would
+     drag the RTO below every real RTT), so clamp to the smallest positive
+     sample and count the event instead of raising. *)
+  let r =
+    if sample <= 0 then begin
+      t.clamped <- t.clamped + 1;
+      1.
+    end
+    else float_of_int sample
+  in
   if not t.have_sample then begin
     t.srtt <- r;
     t.rttvar <- r /. 2.;
@@ -52,8 +68,28 @@ let backoff t =
   t.backoffs <- t.backoffs + 1;
   t.rto <- min t.max_rto (max t.min_rto (t.rto * 2))
 
+let note_gave_up t = t.gave_up <- true
+
+(* Karn's rule suppresses the RTT sample of any retransmitted exchange, so
+   after a give-up the first successful session often completes without
+   ever calling {!observe} — yet it proves the peer is answering again.
+   Drop the accumulated backoff multiplier and re-anchor the RTO on the
+   estimate (or the initial RTO when there has never been a sample). *)
+let note_success t =
+  if t.gave_up || t.backoffs > 0 then begin
+    t.backoffs <- 0;
+    t.rto <-
+      (if t.have_sample then clamp t (t.srtt +. (4. *. t.rttvar))
+       else t.initial_rto)
+  end;
+  t.gave_up <- false
+
 let rto t = t.rto
 
 let srtt t = if t.have_sample then Some (int_of_float (Float.round t.srtt)) else None
 
 let samples t = t.samples
+
+let backoffs t = t.backoffs
+
+let clamped t = t.clamped

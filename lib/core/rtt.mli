@@ -30,3 +30,24 @@ val srtt : t -> Timebase.t option
 (** Smoothed RTT, once at least one sample arrived. *)
 
 val samples : t -> int
+(** Samples folded into the estimate. *)
+
+val note_gave_up : t -> unit
+(** The session owning this estimator exhausted every attempt. Remembered so
+    the next completed exchange is treated as recovery (see
+    {!note_success}). *)
+
+val note_success : t -> unit
+(** A session finished with a verdict. If the estimator had accumulated
+    backoffs — or the previous session gave up — the backoff multiplier is
+    reset and the RTO re-anchored on [SRTT + 4*RTTVAR] (or the initial RTO
+    when no sample has ever arrived). Karn's rule means a recovering
+    session may never feed a sample, so this is the only way the RTO comes
+    back down after an outage. *)
+
+val backoffs : t -> int
+(** Backoffs applied since the last reset (success or sample). *)
+
+val clamped : t -> int
+(** Zero/negative samples clamped instead of folded into the estimate —
+    clock resets across a prover reboot, not real RTTs. *)

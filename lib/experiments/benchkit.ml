@@ -140,6 +140,32 @@ let fleet_metrics ?jobs () =
     count_metric ~name:"fleet_distinct_blocks" roll.Fleet.distinct_blocks;
   ]
 
+(* Fleet-chaos convergence under the supervisor, 120 devices (every fault
+   kind, 12x). Like fleet_metrics, NOT shrunk in quick mode: every count —
+   rounds to convergence, terminal states, detections, remediations,
+   attestations, timeouts — is exact and must be bit-identical on any
+   host, mode, or job count. *)
+let supervisor_metrics ?jobs () =
+  let open Ra_supervisor in
+  let r, chaos_s = wall (fun () -> Fleet_chaos.run ~devices:120 ~seed:7 ?jobs ()) in
+  let rep = r.Fleet_chaos.report in
+  [
+    seconds_metric ~name:"supervisor_fleet_chaos_s" chaos_s;
+    count_metric ~name:"supervisor_rounds" rep.Supervisor.rounds;
+    count_metric ~name:"supervisor_converged" (if rep.Supervisor.converged then 1 else 0);
+    count_metric ~name:"supervisor_violations" (List.length r.Fleet_chaos.violations);
+    count_metric ~name:"supervisor_healthy" (List.length rep.Supervisor.healthy);
+    count_metric ~name:"supervisor_quarantined"
+      (List.length rep.Supervisor.quarantined);
+    count_metric ~name:"supervisor_detections" (List.length rep.Supervisor.detections);
+    count_metric ~name:"supervisor_remediated" (List.length rep.Supervisor.remediated);
+    count_metric ~name:"supervisor_attestations" rep.Supervisor.attestations;
+    count_metric ~name:"supervisor_timeouts" rep.Supervisor.timeouts;
+    count_metric ~name:"supervisor_probes_blocked" rep.Supervisor.probes_blocked;
+    count_metric ~name:"supervisor_remediation_pushes"
+      rep.Supervisor.remediation_pushes;
+  ]
+
 (* Repeated self-measurement with a sparse write schedule (5 single-block
    writes across 10 rounds of 64 blocks — under 1%): the digest cache
    should collapse host time to O(changed blocks) while virtual-time
@@ -222,6 +248,7 @@ let sim_metrics ?(quick = false) ?jobs () =
     seconds_metric ~name:"detection_rate_wall_s" detection_s;
   ]
   @ fleet_metrics ?jobs ()
+  @ supervisor_metrics ?jobs ()
   @ erasmus_metrics ()
 
 (* --- JSON emit ----------------------------------------------------------- *)

@@ -31,12 +31,19 @@ val crypto_metrics : ?quick:bool -> unit -> metric list
 val sim_metrics : ?quick:bool -> ?jobs:int -> unit -> metric list
 (** Engine events/s plus wall-times of the Table 1, chaos, SMARM-game and
     detection-rate drivers ([jobs] is forwarded to the parallel ports),
-    followed by {!fleet_metrics} and {!erasmus_metrics}. *)
+    followed by {!fleet_metrics}, {!supervisor_metrics} and
+    {!erasmus_metrics}. *)
 
 val fleet_metrics : ?jobs:int -> unit -> metric list
 (** 1000-device shared-firmware roll call: wall time plus exact verdict
     and cache counters. Same size in quick and full mode so the exact
     metrics reproduce everywhere. *)
+
+val supervisor_metrics : ?jobs:int -> unit -> metric list
+(** 120-device fleet-chaos convergence under the health supervisor: wall
+    time plus exact convergence counters (rounds, terminal states,
+    detections, remediations, session totals). Same size in quick and
+    full mode so the exact metrics reproduce everywhere. *)
 
 val erasmus_metrics : unit -> metric list
 (** ERASMUS, 10 self-measurement rounds with <1% of blocks written

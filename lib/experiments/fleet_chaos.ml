@@ -1,0 +1,229 @@
+open Ra_sim
+open Ra_device
+open Ra_core
+open Ra_supervisor
+
+(* Fleet-scale chaos: N devices under one supervisor, each assigned a fault
+   kind by a deterministic schedule (index mod 10), supervised until the
+   fleet converges. The point is not the faults — PR 1's per-scheme harness
+   covers those — but the closed loop: detection, circuit breaking,
+   quarantine, remediation and re-admission must drive every device to a
+   terminal state with a recorded reason, within a bounded number of rounds,
+   with counters bit-identical under any [jobs] value. *)
+
+type kind =
+  | Control  (** ideal channel; must end Healthy untouched *)
+  | Lossy  (** loss/corruption/duplication/reordering; must still end Healthy *)
+  | Infected
+      (** malware lands at [infect_at]; must be detected within the QoA
+          bound, remediated, and re-admitted Healthy *)
+  | Partition_heals  (** total outage for the first 75 s, then recovery *)
+  | Partition_forever  (** never reachable again; must end Quarantined *)
+  | Crash_loop
+      (** crashes every 500 ms from t=30 s on, up only 100 ms at a time —
+          no session can complete; must end Quarantined *)
+  | Crash_burst
+      (** crashes every 5 s during [30 s, 90 s), then stable; must ride it
+          out and end Healthy *)
+
+let kind_of_index i =
+  match i mod 10 with
+  | 0 | 1 | 2 | 3 -> Control
+  | 4 -> Lossy
+  | 5 -> Infected
+  | 6 -> Partition_heals
+  | 7 -> Partition_forever
+  | 8 -> Crash_loop
+  | _ -> Crash_burst
+
+let kind_to_string = function
+  | Control -> "control"
+  | Lossy -> "lossy"
+  | Infected -> "infected"
+  | Partition_heals -> "partition-heals"
+  | Partition_forever -> "partition-forever"
+  | Crash_loop -> "crash-loop"
+  | Crash_burst -> "crash-burst"
+
+let infect_at = Timebase.s 35
+
+(* Supervision rounds are 30 s, so the infection instant falls in round 1;
+   QoA for the on-demand scheme is one collection period, padded to 3
+   rounds to absorb the isolation round. *)
+let qoa_bound_rounds = 3
+
+type result = {
+  devices : int;
+  seed : int;
+  jobs : int;
+  report : Supervisor.report;
+  kinds : (Fleet.device_id * kind) list;
+  violations : string list;
+}
+
+let device_config =
+  {
+    Device.default_config with
+    Device.blocks = 16;
+    block_size = 256;
+    modeled_block_bytes = 1024 * 1024;
+  }
+
+let lossy_channel delay =
+  {
+    Channel.ideal with
+    Channel.delay;
+    jitter = Timebase.ms 10;
+    loss = 0.15;
+    duplicate = 0.1;
+    corrupt = 0.1;
+    reorder = 0.1;
+  }
+
+let partition_channel delay ~until =
+  { Channel.ideal with Channel.delay; partitions = [ (Timebase.zero, until) ] }
+
+let arm_crash_schedule device ~first_at ~period ~reboot_delay ~stop_after =
+  let eng = device.Device.engine in
+  let rec tick _ =
+    if Engine.now eng < stop_after then begin
+      Device.crash ~reboot_delay device;
+      ignore (Engine.schedule_after eng ~delay:period tick)
+    end
+  in
+  ignore (Engine.schedule_after eng ~delay:first_at tick)
+
+let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) () =
+  let master =
+    Ra_crypto.Sha256.digest
+      (Bytes.of_string (Printf.sprintf "fleet-chaos master secret %d" seed))
+  in
+  let fleet = Fleet.create ~master_secret:master in
+  let ids =
+    List.init devices (fun i ->
+        let id = Printf.sprintf "dev-%05d" i in
+        ignore (Fleet.provision fleet id ~config:device_config ());
+        id)
+  in
+  let kinds = List.mapi (fun i id -> (id, kind_of_index i)) ids in
+  let sup = Supervisor.create fleet in
+  let horizon = Timebase.s (30 * (max_rounds + 2)) in
+  let delay = Timebase.ms 40 in
+  List.iteri
+    (fun i id ->
+      let device = Fleet.device fleet id in
+      match kind_of_index i with
+      | Control -> ()
+      | Lossy -> Supervisor.set_channel sup id (lossy_channel delay)
+      | Infected ->
+        let rng = Prng.create ~seed:(seed lxor (0x1f2e3d + i)) in
+        ignore
+          (Ra_malware.Malware.install device ~rng ~block:(3 + (i mod 5))
+             ~priority:8
+             (Ra_malware.Malware.Transient
+                { enter = infect_at; leave = Timebase.add horizon (Timebase.s 1000) }))
+      | Partition_heals ->
+        Supervisor.set_channel sup id (partition_channel delay ~until:(Timebase.s 75))
+      | Partition_forever ->
+        Supervisor.set_channel sup id
+          (partition_channel delay ~until:(Timebase.add horizon (Timebase.s 1000)))
+      | Crash_loop ->
+        arm_crash_schedule device ~first_at:(Timebase.s 30) ~period:(Timebase.ms 500)
+          ~reboot_delay:(Timebase.ms 400) ~stop_after:horizon
+      | Crash_burst ->
+        arm_crash_schedule device ~first_at:(Timebase.s 30) ~period:(Timebase.s 5)
+          ~reboot_delay:(Timebase.ms 250) ~stop_after:(Timebase.s 90))
+    ids;
+  (* faults are armed for t >= 30 s, so a quiet first round must not count
+     as convergence: supervise at least past the infection instant *)
+  let report = Supervisor.run ~jobs ~min_rounds:4 ~max_rounds sup in
+  (* --- convergence invariants ------------------------------------------- *)
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  if not report.Supervisor.converged then
+    fail "fleet did not converge within %d rounds" max_rounds;
+  List.iter (fun id -> fail "%s still unsettled" id) report.Supervisor.unsettled;
+  let quarantined = report.Supervisor.quarantined in
+  let detection id = List.assoc_opt id report.Supervisor.detections in
+  List.iter
+    (fun (id, kind) ->
+      let state = Supervisor.health sup id in
+      match kind with
+      | Control | Lossy | Partition_heals | Crash_burst ->
+        if state <> Health.Healthy then
+          fail "%s (%s) ended %s, expected healthy" id (kind_to_string kind)
+            (Health.state_to_string state);
+        if detection id <> None then
+          fail "%s (%s) falsely detected as tampered" id (kind_to_string kind)
+      | Infected ->
+        if state <> Health.Healthy then
+          fail "%s (infected) ended %s, expected remediated back to healthy" id
+            (Health.state_to_string state);
+        if not (List.mem id report.Supervisor.remediated) then
+          fail "%s (infected) was never remediated" id;
+        (match detection id with
+        | None -> fail "%s (infected) was never detected" id
+        | Some round ->
+          let infect_round = 1 in
+          if round - infect_round > qoa_bound_rounds then
+            fail "%s (infected) detected in round %d, beyond the QoA bound of %d rounds"
+              id round qoa_bound_rounds)
+      | Partition_forever | Crash_loop ->
+        (match List.assoc_opt id quarantined with
+        | Some (Health.Probe_exhausted | Health.Flapping) -> ()
+        | Some reason ->
+          fail "%s (%s) quarantined for %s, expected probe-exhausted" id
+            (kind_to_string kind)
+            (Health.cause_to_string reason)
+        | None ->
+          fail "%s (%s) ended %s, expected quarantined" id (kind_to_string kind)
+            (Health.state_to_string state)))
+    kinds;
+  (* every recorded transition must be a declared edge *)
+  List.iter
+    (fun (id, _) ->
+      List.iter
+        (fun tr ->
+          match Health.legal tr.Health.from_ tr.Health.cause with
+          | Some to_ when to_ = tr.Health.to_ -> ()
+          | _ ->
+            fail "%s recorded an undeclared transition %s -[%s]-> %s" id
+              (Health.state_to_string tr.Health.from_)
+              (Health.cause_to_string tr.Health.cause)
+              (Health.state_to_string tr.Health.to_))
+        (Health.history (Supervisor.machine sup id)))
+    kinds;
+  { devices; seed; jobs; report; kinds; violations = List.rev !violations }
+
+let render r =
+  let b = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let rep = r.report in
+  p "fleet-chaos: %d devices, seed %d, jobs %d" r.devices r.seed r.jobs;
+  p "  rounds: %d  converged: %b" rep.Supervisor.rounds rep.Supervisor.converged;
+  p "  healthy: %d  quarantined: %d  unsettled: %d"
+    (List.length rep.Supervisor.healthy)
+    (List.length rep.Supervisor.quarantined)
+    (List.length rep.Supervisor.unsettled);
+  p "  detections: %d  remediated: %d  attestations: %d  timeouts: %d"
+    (List.length rep.Supervisor.detections)
+    (List.length rep.Supervisor.remediated)
+    rep.Supervisor.attestations rep.Supervisor.timeouts;
+  p "  probes blocked: %d  remediation pushes: %d" rep.Supervisor.probes_blocked
+    rep.Supervisor.remediation_pushes;
+  p "  transitions:";
+  List.iter
+    (fun ((from_, cause, to_), n) ->
+      p "    %-12s -[%s]-> %-12s %d"
+        (Health.state_to_string from_)
+        (Health.cause_to_string cause)
+        (Health.state_to_string to_)
+        n)
+    rep.Supervisor.transition_counts;
+  p "  digest: %s" rep.Supervisor.counter_digest;
+  (match r.violations with
+  | [] -> p "  invariants: all hold"
+  | vs ->
+    p "  INVARIANT VIOLATIONS (%d):" (List.length vs);
+    List.iter (fun v -> p "    - %s" v) vs);
+  Buffer.contents b

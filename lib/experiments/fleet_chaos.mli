@@ -1,0 +1,56 @@
+(** Fleet-scale chaos: the {!Ra_supervisor.Supervisor} closed loop —
+    detection, circuit breaking, quarantine, remediation, re-admission —
+    under a deterministic schedule of crash, partition, corruption and
+    malware faults, with convergence invariants asserted over the whole
+    fleet.
+
+    Device [i] is assigned its fault kind by [i mod 10] (four control
+    devices, one lossy, one infected, one healing and one permanent
+    partition, one crash loop, one crash burst per decade), so any fleet
+    size exercises every kind and the expected terminal state of every
+    device is known in advance. The invariants checked:
+
+    - the fleet converges (no livelock) within the round budget;
+    - every device ends [Healthy] or [Quarantined] with a recorded reason;
+    - every infected device is detected within the QoA bound
+      ({!qoa_bound_rounds} supervision rounds), remediated and re-admitted;
+    - no benign device is ever detected as tampered;
+    - every recorded health transition is a declared edge;
+
+    and the supervisor's [counter_digest] is bit-identical for any [jobs]
+    value (checked by the caller — see [ratool fleet-chaos --check-jobs]
+    and [test/test_supervisor.ml]). *)
+
+type kind =
+  | Control
+  | Lossy
+  | Infected
+  | Partition_heals
+  | Partition_forever
+  | Crash_loop
+  | Crash_burst
+
+val kind_of_index : int -> kind
+(** The deterministic fault schedule: [i mod 10]. *)
+
+val kind_to_string : kind -> string
+
+val qoa_bound_rounds : int
+(** Detection deadline for an infected device, in supervision rounds. *)
+
+type result = {
+  devices : int;
+  seed : int;
+  jobs : int;
+  report : Ra_supervisor.Supervisor.report;
+  kinds : (Ra_core.Fleet.device_id * kind) list;
+  violations : string list;  (** empty iff every invariant held *)
+}
+
+val run :
+  ?devices:int -> ?seed:int -> ?jobs:int -> ?max_rounds:int -> unit -> result
+(** Defaults: 200 devices, seed 7, jobs 1, 20 rounds. *)
+
+val render : result -> string
+(** Multi-line human-readable summary (convergence, terminal states,
+    transition counts, digest, violations). *)

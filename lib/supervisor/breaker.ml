@@ -1,0 +1,98 @@
+open Ra_sim
+
+type config = {
+  failure_threshold : int;
+  base_cooldown : Timebase.t;
+  rto_factor : float;
+  backoff : float;
+  max_cooldown : Timebase.t;
+  jitter : float;
+  max_probes : int;
+}
+
+let default_config =
+  {
+    failure_threshold = 2;
+    base_cooldown = Timebase.s 30;
+    rto_factor = 8.;
+    backoff = 1.5;
+    max_cooldown = Timebase.s 90;
+    jitter = 0.25;
+    max_probes = 3;
+  }
+
+type phase = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  rng : Prng.t;
+  mutable phase : phase;
+  mutable deadline : Timebase.t; (* meaningful while Open *)
+  mutable failures : int; (* consecutive *)
+  mutable probe_count : int; (* failed probes this outage *)
+  mutable open_count : int;
+}
+
+let create ?(config = default_config) ~rng () =
+  if config.failure_threshold < 1 then invalid_arg "Breaker: threshold < 1";
+  if config.backoff < 1.0 then invalid_arg "Breaker: backoff < 1";
+  if config.jitter < 0.0 then invalid_arg "Breaker: negative jitter";
+  if config.max_probes < 1 then invalid_arg "Breaker: max_probes < 1";
+  {
+    config;
+    rng;
+    phase = Closed;
+    deadline = Timebase.zero;
+    failures = 0;
+    probe_count = 0;
+    open_count = 0;
+  }
+
+let phase t = t.phase
+
+let cooldown t ~rto_hint =
+  let c = t.config in
+  let floor_ = max c.base_cooldown (int_of_float (c.rto_factor *. float_of_int rto_hint)) in
+  let grown = float_of_int floor_ *. (c.backoff ** float_of_int t.probe_count) in
+  let jittered = grown *. (1. +. (c.jitter *. Prng.float t.rng)) in
+  min c.max_cooldown (max 1 (int_of_float (Float.round jittered)))
+
+let allow t ~now =
+  match t.phase with
+  | Closed -> true
+  | Half_open -> false (* one probe at a time *)
+  | Open ->
+    if now >= t.deadline then begin
+      t.phase <- Half_open;
+      t.probe_count <- t.probe_count + 1;
+      true
+    end
+    else false
+
+let record_success t =
+  t.phase <- Closed;
+  t.failures <- 0;
+  t.probe_count <- 0
+
+let open_ t ~now ~rto_hint =
+  t.phase <- Open;
+  t.open_count <- t.open_count + 1;
+  t.deadline <- Timebase.add now (cooldown t ~rto_hint)
+
+let record_failure t ~now ~rto_hint =
+  t.failures <- t.failures + 1;
+  match t.phase with
+  | Half_open -> open_ t ~now ~rto_hint (* failed probe: back off further *)
+  | Closed -> if t.failures >= t.config.failure_threshold then open_ t ~now ~rto_hint
+  | Open -> () (* no attempt should have been made; keep the deadline *)
+
+let deadline t = match t.phase with Open -> Some t.deadline | _ -> None
+
+let exhausted t =
+  t.phase <> Closed && t.probe_count >= t.config.max_probes
+
+let consecutive_failures t = t.failures
+
+let opens t = t.open_count
+
+let probes t = t.probe_count

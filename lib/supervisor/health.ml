@@ -1,0 +1,119 @@
+type state =
+  | Healthy
+  | Suspect
+  | Unreachable
+  | Compromised
+  | Quarantined
+  | Remediating
+  | Probation
+
+type cause =
+  | Verified_clean
+  | Verdict_tampered
+  | Report_timeout
+  | Gap_audit
+  | Breaker_open
+  | Probe_exhausted
+  | Flapping
+  | Isolated
+  | Update_pushed
+  | Update_verified
+  | Update_failed
+  | Probation_passed
+  | Probation_failed
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Unreachable -> "unreachable"
+  | Compromised -> "compromised"
+  | Quarantined -> "quarantined"
+  | Remediating -> "remediating"
+  | Probation -> "probation"
+
+let cause_to_string = function
+  | Verified_clean -> "verified-clean"
+  | Verdict_tampered -> "verdict-tampered"
+  | Report_timeout -> "report-timeout"
+  | Gap_audit -> "gap-audit"
+  | Breaker_open -> "breaker-open"
+  | Probe_exhausted -> "probe-exhausted"
+  | Flapping -> "flapping"
+  | Isolated -> "isolated"
+  | Update_pushed -> "update-pushed"
+  | Update_verified -> "update-verified"
+  | Update_failed -> "update-failed"
+  | Probation_passed -> "probation-passed"
+  | Probation_failed -> "probation-failed"
+
+(* The whole legal relation, written out rather than computed, so a review
+   (and the legality property test) can read the machine off this list. *)
+let edges =
+  [
+    (Healthy, Report_timeout, Suspect);
+    (Healthy, Gap_audit, Suspect);
+    (Healthy, Verdict_tampered, Compromised);
+    (Healthy, Flapping, Quarantined);
+    (Suspect, Verified_clean, Healthy);
+    (Suspect, Verdict_tampered, Compromised);
+    (Suspect, Breaker_open, Unreachable);
+    (Suspect, Flapping, Quarantined);
+    (Unreachable, Verified_clean, Healthy);
+    (Unreachable, Verdict_tampered, Compromised);
+    (Unreachable, Probe_exhausted, Quarantined);
+    (Unreachable, Flapping, Quarantined);
+    (Compromised, Isolated, Quarantined);
+    (Quarantined, Update_pushed, Remediating);
+    (Remediating, Update_verified, Probation);
+    (Remediating, Update_failed, Quarantined);
+    (Probation, Probation_passed, Healthy);
+    (Probation, Verdict_tampered, Quarantined);
+    (Probation, Probation_failed, Quarantined);
+    (Probation, Breaker_open, Unreachable);
+    (Probation, Flapping, Quarantined);
+  ]
+
+let legal s c =
+  List.find_map
+    (fun (from_, cause, to_) -> if from_ = s && cause = c then Some to_ else None)
+    edges
+
+type transition = {
+  round : int;
+  from_ : state;
+  cause : cause;
+  to_ : state;
+}
+
+type t = {
+  mutable current : state;
+  mutable log : transition list; (* newest first *)
+  mutable count : int;
+}
+
+let create () = { current = Healthy; log = []; count = 0 }
+
+let state t = t.current
+
+let apply t ~round cause =
+  (match legal t.current cause with
+  | None -> ()
+  | Some to_ ->
+    t.log <- { round; from_ = t.current; cause; to_ } :: t.log;
+    t.count <- t.count + 1;
+    t.current <- to_);
+  t.current
+
+let history t = List.rev t.log
+
+let transitions t = t.count
+
+let quarantine_reason t =
+  List.find_map
+    (fun tr -> if tr.to_ = Quarantined then Some tr.cause else None)
+    t.log
+
+let entered_compromised_at t =
+  List.find_map
+    (fun tr -> if tr.to_ = Compromised then Some tr.round else None)
+    (List.rev t.log)

@@ -1,0 +1,94 @@
+(** Per-device health state machine.
+
+    The supervisor's view of one device, driven by roll-call outcomes,
+    ERASMUS gap audits and report timeouts:
+
+    {v
+                 timeout/gap            breaker opens
+      Healthy -------------> Suspect ----------------> Unreachable
+         |  ^                  |  ^                     |   |
+         |  | clean            |  | clean (probe)       |   | probes
+         |  +------------------+  +---------------------+   | exhausted
+         |                     |                            v
+         |  tampered           | tampered             Quarantined <---+
+         +---------------------+--------------------->     |          |
+         (via Compromised: isolate on the next round)      | update   |
+                                                           v pushed   |
+                                                      Remediating ----+
+                                                           | update    (failed)
+                                                           v verified
+         Healthy <------------ Probation <----------------+
+                  N clean rounds
+    v}
+
+    Every move goes through {!apply}, which consults the declared {!edges}
+    relation: a cause that has no edge from the current state is absorbed
+    (the machine stays put and records nothing), so by construction the
+    recorded {!history} never contains an undeclared transition — the
+    qcheck legality property in [test/test_supervisor.ml] pins this. *)
+
+type state =
+  | Healthy
+  | Suspect  (** missed a report or showed a log gap; next outcome decides *)
+  | Unreachable  (** circuit breaker open: only backoff-spaced probes *)
+  | Compromised  (** failed verification; isolation pending *)
+  | Quarantined  (** isolated, with a recorded reason; exits only via remediation *)
+  | Remediating  (** secure erase + code update in flight *)
+  | Probation  (** remediated; must produce clean full measurements to re-admit *)
+
+type cause =
+  | Verified_clean  (** a clean full measurement (roll call or probe) *)
+  | Verdict_tampered  (** measurement verified as tampered *)
+  | Report_timeout  (** no verifiable report within the session budget *)
+  | Gap_audit  (** ERASMUS log audit showed a counter gap beyond allowance *)
+  | Breaker_open  (** consecutive failures crossed the breaker threshold *)
+  | Probe_exhausted  (** every half-open probe failed; device written off *)
+  | Flapping  (** too many transitions: quarantined to stop the churn *)
+  | Isolated  (** supervisor quarantines a compromised device *)
+  | Update_pushed  (** remediation begins: secure erase + code update *)
+  | Update_verified  (** erasure proof + post-install attestation clean *)
+  | Update_failed  (** erasure proof rejected, verdict tampered, or hang *)
+  | Probation_passed  (** required consecutive clean probation rounds seen *)
+  | Probation_failed  (** tampered (or worse) while on probation *)
+
+val state_to_string : state -> string
+val cause_to_string : cause -> string
+
+val edges : (state * cause * state) list
+(** The complete legal-transition relation. *)
+
+val legal : state -> cause -> state option
+(** [legal s c] is the destination state, or [None] when [c] is absorbed
+    in [s]. *)
+
+type transition = {
+  round : int;
+  from_ : state;
+  cause : cause;
+  to_ : state;
+}
+
+type t
+
+val create : unit -> t
+(** A fresh machine in [Healthy]. *)
+
+val state : t -> state
+
+val apply : t -> round:int -> cause -> state
+(** Feed one cause. Moves along the declared edge when there is one
+    (recording the transition), otherwise absorbs the cause silently.
+    Returns the (possibly unchanged) state. *)
+
+val history : t -> transition list
+(** All recorded transitions, oldest first. *)
+
+val transitions : t -> int
+(** Number of recorded transitions (the flap-damping input). *)
+
+val quarantine_reason : t -> cause option
+(** The cause of the most recent entry into [Quarantined], if any. *)
+
+val entered_compromised_at : t -> int option
+(** Round of the first transition into [Compromised] — the detection
+    instant the QoA bound is checked against. *)

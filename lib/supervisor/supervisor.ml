@@ -1,0 +1,409 @@
+open Ra_sim
+open Ra_device
+open Ra_core
+
+type config = {
+  mp : Mp.config;
+  update : Code_update.config;
+  breaker : Breaker.config;
+  round_budget : Timebase.t;
+  session_attempts : int;
+  session_max_timeout : Timebase.t;
+  net_delay : Timebase.t;
+  probation_rounds : int;
+  remediation_attempts : int;
+  flap_threshold : int;
+  gap_allowance : int;
+}
+
+let default_config =
+  {
+    mp = Mp.default_config;
+    update = Code_update.default_config;
+    breaker = Breaker.default_config;
+    round_budget = Timebase.s 30;
+    session_attempts = 8;
+    session_max_timeout = Timebase.s 4;
+    net_delay = Timebase.ms 40;
+    probation_rounds = 2;
+    remediation_attempts = 2;
+    flap_threshold = 12;
+    gap_allowance = 1;
+  }
+
+type outcome = Clean | Tampered | Timeout
+
+type dsup = {
+  id : Fleet.device_id;
+  device : Device.t;
+  verifier : Verifier.t;
+  machine : Health.t;
+  brk : Breaker.t;
+  rtt : Rtt.t;
+  mutable channel : Channel.config;
+  mutable local_deadline : Timebase.t; (* device time the next round runs to *)
+  mutable probation_clean : int;
+  mutable remediations : int;
+  mutable remediated : bool; (* some update push was verified *)
+  mutable detected_round : int option;
+  mutable pending_gap : bool;
+  mutable pending_tampered : bool;
+}
+
+type t = {
+  config : config;
+  roster : dsup array; (* enrolment order *)
+  by_id : (Fleet.device_id, dsup) Hashtbl.t;
+  mutable round_no : int;
+  mutable converged : bool;
+  mutable attestations : int;
+  mutable timeouts : int;
+  mutable probes_blocked : int;
+  mutable remediation_pushes : int;
+}
+
+let create ?(config = default_config) fleet =
+  (* Fleet devices all run the same release, so their engines share a PRNG
+     seed; jitter drawn from them would be identical fleet-wide. Split each
+     breaker's stream from one supervisor root instead — sequentially, in
+     roster order, before any fan-out, so streams are decorrelated across
+     devices yet bit-identical across runs and [jobs] values. *)
+  let jitter_root = Prng.create ~seed:0x5c0bb1e in
+  let roster =
+    Array.of_list
+      (List.map
+         (fun id ->
+           let device = Fleet.device fleet id in
+           let rng = Prng.split jitter_root in
+           {
+             id;
+             device;
+             verifier = Verifier.of_device device;
+             machine = Health.create ();
+             brk = Breaker.create ~config:config.breaker ~rng ();
+             rtt =
+               Rtt.create ~initial_rto:(Timebase.s 1) ~min_rto:(Timebase.ms 50)
+                 ~max_rto:config.session_max_timeout ();
+             channel = { Channel.ideal with Channel.delay = config.net_delay };
+             local_deadline = Engine.now device.Device.engine;
+             probation_clean = 0;
+             remediations = 0;
+             remediated = false;
+             detected_round = None;
+             pending_gap = false;
+             pending_tampered = false;
+           })
+         (Fleet.enrolled fleet))
+  in
+  let by_id = Hashtbl.create (Array.length roster) in
+  Array.iter (fun d -> Hashtbl.replace by_id d.id d) roster;
+  {
+    config;
+    roster;
+    by_id;
+    round_no = 0;
+    converged = false;
+    attestations = 0;
+    timeouts = 0;
+    probes_blocked = 0;
+    remediation_pushes = 0;
+  }
+
+let find t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some d -> d
+  | None -> raise Not_found
+
+let set_channel t id channel = (find t id).channel <- channel
+
+let health t id = Health.state (find t id).machine
+
+let machine t id = (find t id).machine
+
+let breaker t id = (find t id).brk
+
+let note_gap_audit t id audit =
+  let d = find t id in
+  if audit.Erasmus.audit_tampered > 0 then d.pending_tampered <- true;
+  let gap_width =
+    List.fold_left (fun a (lo, hi) -> a + hi - lo + 1) 0 audit.Erasmus.gaps
+  in
+  if gap_width > t.config.gap_allowance then d.pending_gap <- true;
+  (* fresh external evidence re-opens a converged fleet *)
+  if d.pending_tampered || d.pending_gap then t.converged <- false
+
+let rounds_run t = t.round_no
+
+(* A quarantined device is worth a(nother) update push only when it got
+   there through verification evidence — an unreachable or flapping device
+   cannot be reflashed over a link that does not answer. *)
+let remediable t d =
+  Health.state d.machine = Health.Quarantined
+  && d.remediations < t.config.remediation_attempts
+  && (match Health.quarantine_reason d.machine with
+     | Some (Health.Isolated | Health.Update_failed | Health.Probation_failed
+            | Health.Verdict_tampered) ->
+       true
+     | Some _ | None -> false)
+
+let settled t d =
+  match Health.state d.machine with
+  | Health.Healthy -> true
+  | Health.Quarantined -> not (remediable t d)
+  | _ -> false
+
+(* --- round phases -------------------------------------------------------- *)
+
+type action = Advance | Attest | Remediate
+
+type exec_result =
+  | Nothing
+  | Session of Reliable_protocol.result option
+  | Remediation of Code_update.outcome option
+
+let plan t d =
+  let round = t.round_no in
+  let apply c = ignore (Health.apply d.machine ~round c) in
+  (* externally supplied evidence (ERASMUS collection audits) first *)
+  if d.pending_tampered then begin
+    d.pending_tampered <- false;
+    d.pending_gap <- false;
+    if d.detected_round = None then d.detected_round <- Some round;
+    apply Health.Verdict_tampered
+  end;
+  if d.pending_gap then begin
+    d.pending_gap <- false;
+    apply Health.Gap_audit
+  end;
+  (* flap damping: a device that keeps churning through states gets
+     quarantined rather than looping forever — the no-livelock backstop *)
+  if
+    Health.transitions d.machine >= t.config.flap_threshold
+    && Health.state d.machine <> Health.Quarantined
+  then apply Health.Flapping;
+  let now = Engine.now d.device.Device.engine in
+  match Health.state d.machine with
+  | Health.Compromised ->
+    apply Health.Isolated;
+    Advance
+  | Health.Quarantined -> if remediable t d then Remediate else Advance
+  | Health.Remediating ->
+    (* defensive: remediation resolves within its round *)
+    Advance
+  | Health.Unreachable ->
+    if Breaker.exhausted d.brk then begin
+      apply Health.Probe_exhausted;
+      Advance
+    end
+    else if Breaker.allow d.brk ~now then Attest
+    else begin
+      t.probes_blocked <- t.probes_blocked + 1;
+      Advance
+    end
+  | Health.Healthy | Health.Suspect | Health.Probation ->
+    if Breaker.allow d.brk ~now then Attest
+    else begin
+      t.probes_blocked <- t.probes_blocked + 1;
+      Advance
+    end
+
+let session_config t d =
+  {
+    Reliable_protocol.mp = t.config.mp;
+    channel = d.channel;
+    auth_time = Timebase.us 200;
+    retry_timeout = Timebase.s 1;
+    max_attempts = t.config.session_attempts;
+    backoff = 1.6;
+    backoff_jitter = 0.1;
+    max_timeout = t.config.session_max_timeout;
+  }
+
+(* Everything here touches only [d]'s own simulation (plus the fleet's
+   mutex-guarded digest store), so it is safe — and deterministic — to run
+   from any pool domain. *)
+let execute t d action =
+  d.local_deadline <- Timebase.add d.local_deadline t.config.round_budget;
+  match action with
+  | Advance ->
+    Device.run ~until:d.local_deadline d.device;
+    Nothing
+  | Attest ->
+    let result = ref None in
+    Reliable_protocol.run d.device d.verifier (session_config t d) ~rtt:d.rtt
+      ~on_done:(fun r -> result := Some r)
+      ();
+    Device.run ~until:d.local_deadline d.device;
+    Session !result
+  | Remediate ->
+    let out = ref None in
+    Code_update.run d.device t.config.update
+      ~new_seed:d.device.Device.config.Device.seed
+      ~on_done:(fun o -> out := Some o)
+      ();
+    Device.run ~until:d.local_deadline d.device;
+    Remediation !out
+
+let outcome_of_session = function
+  | Some { Reliable_protocol.verdict = Some Verifier.Clean; _ } -> Clean
+  | Some { Reliable_protocol.verdict = Some Verifier.Tampered; _ } -> Tampered
+  | Some { Reliable_protocol.verdict = None; _ } | None -> Timeout
+
+let apply_result t d result =
+  let round = t.round_no in
+  let apply c = ignore (Health.apply d.machine ~round c) in
+  match result with
+  | Nothing -> ()
+  | Session r ->
+    t.attestations <- t.attestations + 1;
+    (match outcome_of_session r with
+    | Clean ->
+      Breaker.record_success d.brk;
+      (match Health.state d.machine with
+      | Health.Probation ->
+        d.probation_clean <- d.probation_clean + 1;
+        if d.probation_clean >= t.config.probation_rounds then
+          apply Health.Probation_passed
+      | _ -> apply Health.Verified_clean)
+    | Tampered ->
+      Breaker.record_success d.brk;
+      if d.detected_round = None then d.detected_round <- Some round;
+      apply Health.Verdict_tampered
+    | Timeout ->
+      t.timeouts <- t.timeouts + 1;
+      Breaker.record_failure d.brk
+        ~now:(Engine.now d.device.Device.engine)
+        ~rto_hint:(Rtt.rto d.rtt);
+      apply Health.Report_timeout;
+      if Breaker.phase d.brk = Breaker.Open then apply Health.Breaker_open)
+  | Remediation out ->
+    t.remediation_pushes <- t.remediation_pushes + 1;
+    d.remediations <- d.remediations + 1;
+    apply Health.Update_pushed;
+    (match out with
+    | Some o
+      when o.Code_update.erasure_proof_ok
+           && o.Code_update.update_verdict = Verifier.Clean
+           && not o.Code_update.malware_survived ->
+      d.probation_clean <- 0;
+      d.remediated <- true;
+      apply Health.Update_verified
+    | Some _ | None -> apply Health.Update_failed)
+
+let total_transitions t =
+  Array.fold_left (fun acc d -> acc + Health.transitions d.machine) 0 t.roster
+
+let round ?jobs t =
+  let transitions0 = total_transitions t in
+  let timeouts0 = t.timeouts in
+  let actions = Array.map (fun d -> plan t d) t.roster in
+  let results =
+    Ra_parallel.parallel_init ?jobs (Array.length t.roster) (fun i ->
+        execute t t.roster.(i) actions.(i))
+  in
+  Array.iteri (fun i d -> apply_result t d results.(i)) t.roster;
+  t.round_no <- t.round_no + 1;
+  t.converged <-
+    Array.for_all (fun d -> settled t d) t.roster
+    && total_transitions t = transitions0
+    && t.timeouts = timeouts0
+
+(* --- report -------------------------------------------------------------- *)
+
+type report = {
+  rounds : int;
+  converged : bool;
+  healthy : Fleet.device_id list;
+  quarantined : (Fleet.device_id * Health.cause) list;
+  unsettled : Fleet.device_id list;
+  detections : (Fleet.device_id * int) list;
+  remediated : Fleet.device_id list;
+  attestations : int;
+  timeouts : int;
+  probes_blocked : int;
+  remediation_pushes : int;
+  transition_counts : ((Health.state * Health.cause * Health.state) * int) list;
+  counter_digest : string;
+}
+
+let report t =
+  let healthy = ref [] and quarantined = ref [] and unsettled = ref [] in
+  let detections = ref [] and remediated = ref [] in
+  let counts = Hashtbl.create 32 in
+  Array.iter
+    (fun d ->
+      (match Health.state d.machine with
+      | Health.Healthy -> healthy := d.id :: !healthy
+      | Health.Quarantined ->
+        let reason =
+          Option.value ~default:Health.Isolated (Health.quarantine_reason d.machine)
+        in
+        quarantined := (d.id, reason) :: !quarantined
+      | _ -> unsettled := d.id :: !unsettled);
+      (match d.detected_round with
+      | Some r -> detections := (d.id, r) :: !detections
+      | None -> ());
+      if d.remediated then remediated := d.id :: !remediated;
+      List.iter
+        (fun tr ->
+          let key = (tr.Health.from_, tr.Health.cause, tr.Health.to_) in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+        (Health.history d.machine))
+    t.roster;
+  let transition_counts =
+    List.sort
+      (fun ((f1, c1, t1), _) ((f2, c2, t2), _) ->
+        compare
+          ( Health.state_to_string f1,
+            Health.cause_to_string c1,
+            Health.state_to_string t1 )
+          ( Health.state_to_string f2,
+            Health.cause_to_string c2,
+            Health.state_to_string t2 ))
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  let digest =
+    let edges =
+      String.concat ";"
+        (List.map
+           (fun ((f, c, to_), n) ->
+             Printf.sprintf "%s>%s/%s=%d" (Health.state_to_string f)
+               (Health.state_to_string to_) (Health.cause_to_string c) n)
+           transition_counts)
+    in
+    Printf.sprintf
+      "rounds=%d converged=%b healthy=%d quarantined=%d unsettled=%d \
+       detections=%d remediated=%d attested=%d timeouts=%d blocked=%d \
+       pushes=%d edges[%s]"
+      t.round_no t.converged (List.length !healthy) (List.length !quarantined)
+      (List.length !unsettled) (List.length !detections)
+      (List.length !remediated) t.attestations t.timeouts t.probes_blocked
+      t.remediation_pushes edges
+  in
+  {
+    rounds = t.round_no;
+    converged = t.converged;
+    healthy = List.rev !healthy;
+    quarantined = List.rev !quarantined;
+    unsettled = List.rev !unsettled;
+    detections = List.rev !detections;
+    remediated = List.rev !remediated;
+    attestations = t.attestations;
+    timeouts = t.timeouts;
+    probes_blocked = t.probes_blocked;
+    remediation_pushes = t.remediation_pushes;
+    transition_counts;
+    counter_digest = digest;
+  }
+
+let run ?jobs ?(min_rounds = 0) ?(max_rounds = 24) (t : t) =
+  let rec loop () =
+    if (t.converged && t.round_no >= min_rounds) || t.round_no >= max_rounds then
+      report t
+    else begin
+      round ?jobs t;
+      loop ()
+    end
+  in
+  loop ()

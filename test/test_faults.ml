@@ -136,6 +136,63 @@ let prop_single_bit_flip_always_detected =
       | Error _ -> true
       | Ok _ -> false)
 
+(* Truncation edges: a frame cut anywhere — inside the payload, inside the
+   4-byte CRC trailer, or down to nothing — must come back as a clean
+   [Error], never an exception, and never be accepted as intact. *)
+let prop_frame_truncation_clean_error =
+  QCheck.Test.make ~name:"truncated frame: clean error, no exception" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 64)) small_nat)
+    (fun (s, cut_raw) ->
+      let frame = Frame.seal (Bytes.of_string s) in
+      let cut = cut_raw mod Bytes.length frame in
+      match Frame.open_ (Bytes.sub frame 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let test_frame_zero_length_payload () =
+  (match Frame.open_ (Frame.seal Bytes.empty) with
+  | Ok p -> check Alcotest.int "empty payload roundtrips" 0 (Bytes.length p)
+  | Error e -> Alcotest.fail e);
+  (match Frame.open_ Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty frame accepted");
+  (* cuts strictly inside the CRC trailer *)
+  let frame = Frame.seal Bytes.empty in
+  for cut = 0 to Bytes.length frame - 1 do
+    match Frame.open_ (Bytes.sub frame 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "trailer cut at %d accepted" cut)
+  done
+
+let wire_report =
+  {
+    Report.scheme_name = "smart";
+    hash = Ra_crypto.Algo.SHA_256;
+    nonce = Bytes.of_string "0123456789abcdef";
+    order = Array.init 16 (fun i -> i);
+    mac = Bytes.make 32 '\x5a';
+    data_copy = [ (3, Bytes.of_string "volatile data block contents") ];
+    t_start = Timebase.ms 10;
+    t_end = Timebase.ms 150;
+    t_release = Timebase.ms 150;
+    signature = None;
+    counter = Some 42;
+  }
+
+(* The length-prefixed report encoding, cut at every possible byte: header
+   cuts, cuts inside a length field, cuts inside the MAC — all clean
+   errors. *)
+let test_report_decode_every_truncation () =
+  let encoded = Report.encode wire_report in
+  (match Report.decode encoded with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("intact report rejected: " ^ e));
+  for cut = 0 to Bytes.length encoded - 1 do
+    match Report.decode (Bytes.sub encoded 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "truncation at %d accepted" cut)
+  done
+
 (* --- RTT estimator -------------------------------------------------------- *)
 
 let test_rtt_estimator () =
@@ -157,6 +214,54 @@ let test_rtt_estimator () =
   let floor_rtt = Rtt.create () in
   Rtt.observe floor_rtt (Timebase.us 1);
   check Alcotest.int "rto floor" (Timebase.ms 200) (Rtt.rto floor_rtt)
+
+(* A prover reboot can reset the clock mid-exchange, making the apparent
+   RTT zero or negative. The estimator must clamp such samples — never
+   raise, never drive SRTT/RTTVAR (and hence the RTO) negative. *)
+let test_rtt_clamps_clock_reset_samples () =
+  let rtt = Rtt.create () in
+  for _ = 1 to 5 do
+    Rtt.observe rtt (Timebase.ms 100)
+  done;
+  Rtt.observe rtt (-Timebase.ms 500);
+  Rtt.observe rtt 0;
+  check Alcotest.int "both anomalies counted" 2 (Rtt.clamped rtt);
+  check Alcotest.bool "srtt still positive" true
+    (match Rtt.srtt rtt with Some s -> s > 0 | None -> false);
+  (* the clamp inflates RTTVAR (a 1 ns sample is a big deviation) but the
+     RTO must stay positive and bounded, not swing negative *)
+  check Alcotest.bool "rto stays in bounds" true
+    (Rtt.rto rtt >= Timebase.ms 200 && Rtt.rto rtt <= Timebase.s 1);
+  (* a first-ever sample that is negative must not poison a fresh estimator *)
+  let fresh = Rtt.create () in
+  Rtt.observe fresh (-1);
+  check Alcotest.int "fresh estimator clamps too" (Timebase.ms 200) (Rtt.rto fresh)
+
+(* Karn's rule means a recovering session may never feed a sample, so the
+   backoff multiplier must be reset explicitly on the first clean exchange
+   after a give-up. *)
+let test_rtt_backoff_reset_after_gave_up () =
+  let rtt = Rtt.create ~initial_rto:(Timebase.s 1) ~max_rto:(Timebase.s 8) () in
+  for _ = 1 to 3 do
+    Rtt.observe rtt (Timebase.ms 100)
+  done;
+  let anchored = Rtt.rto rtt in
+  for _ = 1 to 5 do
+    Rtt.backoff rtt
+  done;
+  Rtt.note_gave_up rtt;
+  check Alcotest.int "backoffs accumulated" 5 (Rtt.backoffs rtt);
+  check Alcotest.bool "rto backed off" true (Rtt.rto rtt > anchored);
+  Rtt.note_success rtt;
+  check Alcotest.int "backoffs reset" 0 (Rtt.backoffs rtt);
+  check Alcotest.int "rto re-anchored on the estimate" anchored (Rtt.rto rtt);
+  (* without any sample ever, recovery falls back to the initial RTO *)
+  let blind = Rtt.create ~initial_rto:(Timebase.s 1) ~max_rto:(Timebase.s 8) () in
+  Rtt.backoff blind;
+  Rtt.backoff blind;
+  Rtt.note_gave_up blind;
+  Rtt.note_success blind;
+  check Alcotest.int "blind recovery: initial rto" (Timebase.s 1) (Rtt.rto blind)
 
 (* --- device crash/reboot -------------------------------------------------- *)
 
@@ -585,8 +690,20 @@ let () =
           Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
           Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
           qtest prop_single_bit_flip_always_detected;
+          qtest prop_frame_truncation_clean_error;
+          Alcotest.test_case "zero-length payload and trailer cuts" `Quick
+            test_frame_zero_length_payload;
+          Alcotest.test_case "report decode: every truncation" `Quick
+            test_report_decode_every_truncation;
         ] );
-      ("rtt", [ Alcotest.test_case "estimator" `Quick test_rtt_estimator ]);
+      ( "rtt",
+        [
+          Alcotest.test_case "estimator" `Quick test_rtt_estimator;
+          Alcotest.test_case "clock-reset samples clamped" `Quick
+            test_rtt_clamps_clock_reset_samples;
+          Alcotest.test_case "backoff reset after give-up" `Quick
+            test_rtt_backoff_reset_after_gave_up;
+        ] );
       ( "device-crash",
         [ Alcotest.test_case "crash semantics" `Quick test_device_crash_semantics ] );
       ( "watchdog",

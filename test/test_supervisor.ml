@@ -1,0 +1,285 @@
+(* Tests for the fleet supervisor: health state machine legality, circuit
+   breaker monotonicity, the quarantine-and-remediate pipeline, gap-audit
+   ingestion, and jobs-invariance of the fleet-chaos counters. *)
+
+open Ra_sim
+open Ra_device
+open Ra_core
+open Ra_supervisor
+module Fleet_chaos = Ra_experiments.Fleet_chaos
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- state machine ------------------------------------------------------- *)
+
+let all_causes =
+  [
+    Health.Verified_clean;
+    Health.Verdict_tampered;
+    Health.Report_timeout;
+    Health.Gap_audit;
+    Health.Breaker_open;
+    Health.Probe_exhausted;
+    Health.Flapping;
+    Health.Isolated;
+    Health.Update_pushed;
+    Health.Update_verified;
+    Health.Update_failed;
+    Health.Probation_passed;
+    Health.Probation_failed;
+  ]
+
+(* Whatever causes are thrown at the machine, in whatever order, every
+   recorded transition is a declared edge and the recorded chain is
+   contiguous from Healthy. *)
+let prop_machine_never_leaves_declared_edges =
+  QCheck.Test.make ~name:"no transition outside declared edges" ~count:500
+    QCheck.(list (int_bound (List.length all_causes - 1)))
+    (fun causes ->
+      let m = Health.create () in
+      List.iteri
+        (fun round c -> ignore (Health.apply m ~round (List.nth all_causes c)))
+        causes;
+      let rec chain from_ = function
+        | [] -> true
+        | tr :: rest ->
+          tr.Health.from_ = from_
+          && List.mem (tr.Health.from_, tr.Health.cause, tr.Health.to_) Health.edges
+          && chain tr.Health.to_ rest
+      in
+      chain Health.Healthy (Health.history m)
+      && Health.transitions m = List.length (Health.history m))
+
+let test_machine_absorbs_undeclared () =
+  let m = Health.create () in
+  (* no edge Healthy -[Update_verified]-> ... : absorbed, nothing recorded *)
+  check Alcotest.bool "absorbed" true
+    (Health.apply m ~round:0 Health.Update_verified = Health.Healthy);
+  check Alcotest.int "nothing recorded" 0 (Health.transitions m);
+  ignore (Health.apply m ~round:1 Health.Verdict_tampered);
+  ignore (Health.apply m ~round:2 Health.Isolated);
+  check Alcotest.bool "quarantine reason" true
+    (Health.quarantine_reason m = Some Health.Isolated);
+  check Alcotest.bool "compromised instant" true
+    (Health.entered_compromised_at m = Some 1)
+
+(* --- circuit breaker ----------------------------------------------------- *)
+
+(* Monotonicity: while the breaker is open, allow never fires before the
+   recorded deadline, whatever the op sequence. *)
+let prop_breaker_no_probe_before_deadline =
+  QCheck.Test.make ~name:"no probe before the backoff deadline" ~count:500
+    QCheck.(pair small_int (small_list (pair (int_bound 2) (int_bound 10_000))))
+    (fun (seed, ops) ->
+      let b = Breaker.create ~rng:(Prng.create ~seed) () in
+      let now = ref Timebase.zero in
+      List.for_all
+        (fun (op, dt_ms) ->
+          now := Timebase.add !now (Timebase.ms dt_ms);
+          match op with
+          | 0 ->
+            Breaker.record_failure b ~now:!now ~rto_hint:(Timebase.s 1);
+            true
+          | 1 ->
+            Breaker.record_success b;
+            true
+          | _ -> (
+            match Breaker.deadline b with
+            | Some deadline when !now < deadline ->
+              not (Breaker.allow b ~now:!now)
+            | _ ->
+              ignore (Breaker.allow b ~now:!now);
+              true))
+        ops)
+
+let test_breaker_lifecycle () =
+  let b = Breaker.create ~rng:(Prng.create ~seed:1) () in
+  let now = Timebase.s 1 in
+  check Alcotest.bool "closed allows" true (Breaker.allow b ~now);
+  Breaker.record_failure b ~now ~rto_hint:(Timebase.ms 100);
+  check Alcotest.bool "one failure: still closed" true (Breaker.allow b ~now);
+  Breaker.record_failure b ~now ~rto_hint:(Timebase.ms 100);
+  check Alcotest.bool "threshold: open" true (Breaker.phase b = Breaker.Open);
+  check Alcotest.bool "open blocks" false (Breaker.allow b ~now);
+  let deadline = Option.get (Breaker.deadline b) in
+  check Alcotest.bool "cooldown >= base" true
+    (Timebase.sub deadline now >= Timebase.s 30);
+  (* probe at the deadline, fail it, probe again, fail, probe, fail:
+     exhausted *)
+  let now = ref deadline in
+  for probe = 1 to 3 do
+    check Alcotest.bool "probe allowed at deadline" true (Breaker.allow b ~now:!now);
+    check Alcotest.bool "half-open" true (Breaker.phase b = Breaker.Half_open);
+    check Alcotest.bool "one probe at a time" false (Breaker.allow b ~now:!now);
+    Breaker.record_failure b ~now:!now ~rto_hint:(Timebase.ms 100);
+    check Alcotest.int "probe counted" probe (Breaker.probes b);
+    now := Option.value (Breaker.deadline b) ~default:!now
+  done;
+  check Alcotest.bool "exhausted after max probes" true (Breaker.exhausted b);
+  (* a success resets everything *)
+  ignore (Breaker.allow b ~now:!now);
+  Breaker.record_success b;
+  check Alcotest.bool "closed again" true (Breaker.phase b = Breaker.Closed);
+  check Alcotest.bool "probe budget restored" false (Breaker.exhausted b);
+  check Alcotest.int "failures cleared" 0 (Breaker.consecutive_failures b)
+
+(* --- supervisor integration ---------------------------------------------- *)
+
+let small_device_config =
+  {
+    Device.default_config with
+    Device.blocks = 16;
+    block_size = 256;
+    modeled_block_bytes = 1024 * 1024;
+  }
+
+let make_fleet n =
+  let fleet =
+    Fleet.create ~master_secret:(Bytes.of_string "supervisor test master secret")
+  in
+  let ids =
+    List.init n (fun i ->
+        let id = Printf.sprintf "dev-%02d" i in
+        ignore (Fleet.provision fleet id ~config:small_device_config ());
+        id)
+  in
+  (fleet, ids)
+
+let test_clean_fleet_converges_immediately () =
+  let fleet, ids = make_fleet 4 in
+  let sup = Supervisor.create fleet in
+  let report = Supervisor.run ~jobs:1 sup in
+  check Alcotest.bool "converged" true report.Supervisor.converged;
+  check Alcotest.int "everyone healthy" 4 (List.length report.Supervisor.healthy);
+  check Alcotest.int "no timeouts" 0 report.Supervisor.timeouts;
+  List.iter
+    (fun id ->
+      check Alcotest.bool "healthy" true (Supervisor.health sup id = Health.Healthy))
+    ids
+
+let test_remediation_pipeline () =
+  let fleet, _ = make_fleet 2 in
+  let sup = Supervisor.create fleet in
+  let device = Fleet.device fleet "dev-01" in
+  ignore
+    (Ra_malware.Malware.install device
+       ~rng:(Prng.create ~seed:9)
+       ~block:5 ~priority:8 Ra_malware.Malware.Static);
+  let report = Supervisor.run ~jobs:1 sup in
+  check Alcotest.bool "converged" true report.Supervisor.converged;
+  check Alcotest.bool "re-admitted healthy" true
+    (Supervisor.health sup "dev-01" = Health.Healthy);
+  check Alcotest.bool "detected in round 0" true
+    (List.assoc_opt "dev-01" report.Supervisor.detections = Some 0);
+  check Alcotest.bool "remediated" true
+    (List.mem "dev-01" report.Supervisor.remediated);
+  (* the full pipeline is on the record *)
+  let history = Health.history (Supervisor.machine sup "dev-01") in
+  let causes = List.map (fun tr -> tr.Health.cause) history in
+  check
+    (Alcotest.list Alcotest.string)
+    "pipeline edges"
+    [
+      "verdict-tampered"; "isolated"; "update-pushed"; "update-verified";
+      "probation-passed";
+    ]
+    (List.map Health.cause_to_string causes);
+  (* the clean bystander was untouched *)
+  check Alcotest.bool "bystander healthy" true
+    (Supervisor.health sup "dev-00" = Health.Healthy);
+  check Alcotest.int "no false detections" 1
+    (List.length report.Supervisor.detections)
+
+let test_permanent_partition_quarantined () =
+  let fleet, _ = make_fleet 2 in
+  let sup = Supervisor.create fleet in
+  Supervisor.set_channel sup "dev-01"
+    {
+      Channel.ideal with
+      Channel.delay = Timebase.ms 40;
+      partitions = [ (Timebase.zero, Timebase.s 100_000) ];
+    };
+  let report = Supervisor.run ~jobs:1 sup in
+  check Alcotest.bool "converged" true report.Supervisor.converged;
+  check Alcotest.bool "quarantined as unreachable" true
+    (List.assoc_opt "dev-01" report.Supervisor.quarantined
+    = Some Health.Probe_exhausted);
+  check Alcotest.bool "never falsely detected" true
+    (List.assoc_opt "dev-01" report.Supervisor.detections = None);
+  (* unreachable devices are not remediation candidates: no update pushes *)
+  check Alcotest.int "no pushes at an unresponsive device" 0
+    report.Supervisor.remediation_pushes;
+  let b = Supervisor.breaker sup "dev-01" in
+  check Alcotest.bool "breaker exhausted" true (Breaker.exhausted b)
+
+let test_gap_audit_ingestion () =
+  let fleet, _ = make_fleet 1 in
+  let sup = Supervisor.create fleet in
+  (* a gap wider than the allowance demotes to Suspect (then the clean
+     probe re-admits); within the allowance it is absorbed *)
+  Supervisor.note_gap_audit sup "dev-00"
+    { Erasmus.audit_clean = 5; audit_tampered = 0; gaps = [ (3, 5) ]; out_of_order = 0 };
+  Supervisor.round ~jobs:1 sup;
+  let history = Health.history (Supervisor.machine sup "dev-00") in
+  check Alcotest.bool "gap recorded as demotion" true
+    (List.exists
+       (fun tr -> tr.Health.cause = Health.Gap_audit && tr.Health.to_ = Health.Suspect)
+       history);
+  check Alcotest.bool "clean probe re-admits" true
+    (Supervisor.health sup "dev-00" = Health.Healthy);
+  Supervisor.note_gap_audit sup "dev-00"
+    { Erasmus.audit_clean = 5; audit_tampered = 0; gaps = [ (7, 7) ]; out_of_order = 0 };
+  let before = Health.transitions (Supervisor.machine sup "dev-00") in
+  Supervisor.round ~jobs:1 sup;
+  check Alcotest.int "gap within allowance absorbed" before
+    (Health.transitions (Supervisor.machine sup "dev-00"));
+  (* a tampered stored report is verification evidence: the remediation
+     pipeline fires *)
+  Supervisor.note_gap_audit sup "dev-00"
+    { Erasmus.audit_clean = 4; audit_tampered = 1; gaps = []; out_of_order = 0 };
+  let report = Supervisor.run ~jobs:1 sup in
+  check Alcotest.bool "tampered audit triggers detection" true
+    (List.assoc_opt "dev-00" report.Supervisor.detections <> None);
+  check Alcotest.bool "remediated and re-admitted" true
+    (Supervisor.health sup "dev-00" = Health.Healthy)
+
+(* --- fleet chaos --------------------------------------------------------- *)
+
+let test_fleet_chaos_invariants_and_jobs_invariance () =
+  let r1 = Fleet_chaos.run ~devices:30 ~seed:11 ~jobs:1 () in
+  check (Alcotest.list Alcotest.string) "invariants hold" [] r1.Fleet_chaos.violations;
+  let r4 = Fleet_chaos.run ~devices:30 ~seed:11 ~jobs:4 () in
+  check Alcotest.string "counters bit-identical under jobs"
+    r1.Fleet_chaos.report.Supervisor.counter_digest
+    r4.Fleet_chaos.report.Supervisor.counter_digest
+
+let () =
+  Alcotest.run "ra_supervisor"
+    [
+      ( "health",
+        [
+          qtest prop_machine_never_leaves_declared_edges;
+          Alcotest.test_case "absorbs undeclared causes" `Quick
+            test_machine_absorbs_undeclared;
+        ] );
+      ( "breaker",
+        [
+          qtest prop_breaker_no_probe_before_deadline;
+          Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "clean fleet converges" `Quick
+            test_clean_fleet_converges_immediately;
+          Alcotest.test_case "remediation pipeline" `Quick test_remediation_pipeline;
+          Alcotest.test_case "permanent partition quarantined" `Slow
+            test_permanent_partition_quarantined;
+          Alcotest.test_case "gap audit ingestion" `Quick test_gap_audit_ingestion;
+        ] );
+      ( "fleet-chaos",
+        [
+          Alcotest.test_case "invariants + jobs invariance" `Slow
+            test_fleet_chaos_invariants_and_jobs_invariance;
+        ] );
+    ]
