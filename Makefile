@@ -1,10 +1,23 @@
-.PHONY: build test chaos fleet-chaos check bench bench-json bench-check clean
+.PHONY: build test lint lint-update chaos fleet-chaos check bench bench-json bench-check clean
 
 build:
 	dune build
 
 test: build
 	dune runtest
+
+# Static-analysis gate (DESIGN.md §10): determinism, parallel-safety,
+# unsafe-code discipline and interface hygiene over the repo's own
+# sources, ratcheted against LINT_BASELINE.json. Exits non-zero on any
+# non-baselined finding; stale baseline entries are reported as drift.
+lint: build
+	dune exec bin/ralint.exe
+
+# Accept the current findings into the ratchet baseline (review the
+# LINT_BASELINE.json diff before committing — prefer fixing or an
+# in-source `ralint: allow` waiver over ratcheting).
+lint-update: build
+	dune exec bin/ralint.exe -- --update-baseline
 
 # The chaos gate: randomized fault schedules against every scheme family,
 # exits non-zero on any recovery-invariant violation. Deterministic per seed.
@@ -18,7 +31,7 @@ chaos: build
 fleet-chaos: build
 	dune exec bin/ratool.exe -- fleet-chaos --devices 200 --jobs 4 --check-jobs 1
 
-check: build test chaos fleet-chaos
+check: build test lint chaos fleet-chaos
 
 # Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build

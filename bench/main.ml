@@ -325,17 +325,21 @@ let run_group name tests =
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg [ instance ] grouped in
   let results = Analyze.all ols instance raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun key ols_result ->
-      let estimate =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ est ] -> est
-        | Some _ | None -> nan
-      in
-      rows := (key, estimate) :: !rows)
-    results;
-  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  (* Bechamel hands results back as a Hashtbl; fold in bucket order and
+     sort at the fold site so the printed table never depends on it. *)
+  let rows =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold
+         (fun key ols_result acc ->
+           let estimate =
+             match Analyze.OLS.estimates ols_result with
+             | Some [ est ] -> est
+             | Some _ | None -> nan
+           in
+           (key, estimate) :: acc)
+         results [])
+  in
   Printf.printf "\n-- %s --\n" name;
   List.iter
     (fun (key, ns) ->

@@ -1,0 +1,122 @@
+(* ralint — run the Ra_lint rule families (DESIGN.md §10) over the repo's
+   own sources and gate against the committed ratchet baseline.
+
+   Exit status: 0 when every finding is covered by the baseline, 1 when a
+   new finding (or a parse failure) appears. Stale baseline entries are
+   reported as drift but do not fail the run; `--update-baseline`
+   re-ratchets. *)
+
+let usage =
+  "ralint [options] [paths...]\n\
+   Static analysis for determinism (D), parallel-safety (P), unsafe-code\n\
+   discipline (U) and interface hygiene (I). Default paths: lib bin bench."
+
+let json_out = ref false
+let baseline_path = ref "LINT_BASELINE.json"
+let update_baseline = ref false
+let root = ref "."
+let rest = ref []
+
+let spec =
+  [
+    ("--json", Arg.Set json_out, " emit the report as JSON on stdout");
+    ( "--baseline",
+      Arg.Set_string baseline_path,
+      "FILE ratchet baseline (default LINT_BASELINE.json; ignored if absent)" );
+    ( "--update-baseline",
+      Arg.Set update_baseline,
+      " accept all current findings into the baseline file and exit 0" );
+    ("--root", Arg.Set_string root, "DIR repository root (default .)");
+  ]
+
+let read_text path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Repo-relative .ml files under [paths], sorted for stable reports. *)
+let collect_ml_files ~root paths =
+  let skip name = name = "_build" || name = ".git" || name = "_opam" in
+  let out = ref [] in
+  let rec walk rel =
+    let full = Filename.concat root rel in
+    if Sys.is_directory full then
+      Array.iter
+        (fun name ->
+          if not (skip name) then
+            walk (if rel = "" then name else rel ^ "/" ^ name))
+        (Sys.readdir full)
+    else if Filename.check_suffix rel ".ml" then out := rel :: !out
+  in
+  List.iter
+    (fun p -> if Sys.file_exists (Filename.concat root p) then walk p)
+    paths;
+  List.sort compare !out
+
+let () =
+  Arg.parse spec (fun p -> rest := p :: !rest) usage;
+  let paths = if !rest = [] then [ "lib"; "bin"; "bench" ] else List.rev !rest in
+  let root = !root in
+  let config =
+    {
+      Ra_lint.default_config with
+      Ra_lint.p2_paths = Some (Ra_lint.Reach.parallel_reachable ~root);
+    }
+  in
+  let files = collect_ml_files ~root paths in
+  let findings =
+    List.concat_map
+      (fun file ->
+        let source = read_text (Filename.concat root file) in
+        match Ra_lint.lint_source ~config ~file source with
+        | fs ->
+          let interface =
+            let under_lib =
+              String.length file >= 4 && String.sub file 0 4 = "lib/"
+            in
+            if not under_lib then []
+            else
+              let mli = Filename.concat root (Filename.remove_extension file ^ ".mli") in
+              Ra_lint.check_interface ~config ~file ~mli_exists:(Sys.file_exists mli)
+                source
+          in
+          fs @ interface
+        | exception Ra_lint.Lint_parse_error (msg, line) ->
+          [
+            {
+              Ra_lint.rule = "E1";
+              file;
+              line;
+              col = 0;
+              fingerprint = Printf.sprintf "E1:%s" file;
+              message = "file does not parse: " ^ msg;
+            };
+          ])
+      files
+  in
+  let baseline_file =
+    if Filename.is_relative !baseline_path then Filename.concat root !baseline_path
+    else !baseline_path
+  in
+  if !update_baseline then begin
+    let oc = open_out baseline_file in
+    output_string oc
+      (Ra_lint.baseline_to_json (List.map Ra_lint.entry_of_finding findings));
+    close_out oc;
+    Printf.printf "ralint: wrote %d finding(s) to %s\n" (List.length findings)
+      !baseline_path;
+    exit 0
+  end;
+  let baseline =
+    if Sys.file_exists baseline_file then
+      try Ra_lint.baseline_of_json (read_text baseline_file)
+      with Ra_experiments.Benchkit.Parse_error msg ->
+        Printf.eprintf "ralint: malformed baseline %s: %s\n" !baseline_path msg;
+        exit 2
+    else []
+  in
+  let report = Ra_lint.diff ~baseline findings in
+  print_string
+    (if !json_out then Ra_lint.render_json report else Ra_lint.render_human report);
+  exit (if Ra_lint.new_findings report = [] then 0 else 1)

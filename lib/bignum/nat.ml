@@ -471,6 +471,11 @@ let of_hex s =
   done;
   of_bytes_be b
 
+(* bounds: out has 2n bytes, i < n, and hex_digits is indexed by nibbles
+   < 16; unsafe_to_string transfers ownership of a buffer that never
+   escapes before the conversion.
+   cross-check: hex round-trips against of_hex and the qcheck arithmetic
+   properties in test/test_bignum.ml. *)
 let to_hex a =
   let b = to_bytes_be a in
   let n = Bytes.length b in

@@ -34,7 +34,11 @@ module Store = struct
 
   (* [content] is borrowed: probed with a zero-copy string view, copied
      into the table only the first time it is seen. The returned digest is
-     shared — callers must treat it as immutable. *)
+     shared — callers must treat it as immutable.
+     bounds: unsafe_to_string is an ownership cast, not an access — the
+     view lives only for the probe, inside the lock, and is never stored.
+     cross-check: test/test_cache.ml qcheck-diffs cached digests against
+     uncached Algo.digest under adversarial write schedules. *)
   let digest t algo content =
     Mutex.lock t.mutex;
     t.lookups <- t.lookups + 1;

@@ -10,6 +10,8 @@ type t = {
   mutable digests : int;
 }
 
+(* ralint: allow P2 — domain-separation prefixes; only ever read (passed
+   to Bytes.concat), never written. *)
 let leaf_prefix = Bytes.of_string "\x00"
 let node_prefix = Bytes.of_string "\x01"
 

@@ -13,6 +13,10 @@ let default_config =
 (* A nonce-seeded pseudorandom walk. The mixing is deliberately simple (this
    is the *software-based* approach the paper contrasts with cryptographic
    MACs) but every byte of memory is reachable and order matters. *)
+(* bounds: addr comes from Prng.int ~bound:size, so it is always inside
+   [memory]; size > 0 is checked before the loop.
+   cross-check: the checksum's traversal-order sensitivity is exercised
+   against the paper's redirection adversary in test/test_core.ml. *)
 let checksum ~memory ~nonce ~iterations =
   let seed =
     let digest = Ra_crypto.Sha256.digest nonce in

@@ -2,6 +2,7 @@ let name = "BLAKE2b"
 let digest_size = 64
 let block_size = 128
 
+(* ralint: allow P2 — IV constant table, read-only after init. *)
 let iv =
   [|
     0x6a09e667f3bcc908L; 0xbb67ae8584caa73bL; 0x3c6ef372fe94f82bL;
@@ -9,6 +10,7 @@ let iv =
     0x1f83d9abfb41bd6bL; 0x5be0cd19137e2179L;
   |]
 
+(* ralint: allow P2 — message-schedule permutation table, read-only. *)
 let sigma =
   [|
     [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];
@@ -36,10 +38,12 @@ type ctx = {
 let rotr x n =
   Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
 
-(* Hot loop: the G-function indices are the fixed BLAKE2 constants and the
-   sigma rows only hold 0..15, so unsafe accesses into the 16-slot [m]/[v]
-   scratch are safe; Ra_crypto.Checked keeps the bounds-checked reference
-   that qcheck diffs against this. *)
+(* Hot loop. bounds: the G-function indices are the fixed BLAKE2 constants
+   (all < 16) and the sigma rows only hold 0..15, so every unsafe access
+   into the 16-slot [m]/[v] scratch and the 8-slot [h]/[iv] arrays is in
+   range; unsafe_load64_le reads 8*i with i <= 15 from the 128-byte buf.
+   cross-check: Ra_crypto.Checked.blake2b keeps the bounds-checked
+   reference that test/test_crypto.ml qcheck-diffs against this one. *)
 let compress ctx ~last =
   let open Int64 in
   let m = ctx.m and v = ctx.v in

@@ -2,12 +2,14 @@ let name = "BLAKE2s"
 let digest_size = 32
 let block_size = 64
 
+(* ralint: allow P2 — IV constant table, read-only after init. *)
 let iv =
   [|
     0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
     0x1f83d9ab; 0x5be0cd19;
   |]
 
+(* ralint: allow P2 — message-schedule permutation table, read-only. *)
 let sigma =
   [|
     [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];
@@ -36,9 +38,12 @@ let mask = 0xFFFFFFFF
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-(* Hot loop: mirrors Blake2b.compress — fixed G-function indices and sigma
-   rows in 0..15 make the unsafe accesses into the 16-slot scratch arrays
-   safe; Ra_crypto.Checked keeps the bounds-checked reference. *)
+(* Hot loop. bounds: mirrors Blake2b.compress — the fixed G-function
+   indices and sigma rows in 0..15 keep every unsafe access into the
+   16-slot scratch arrays in range, and unsafe_load32_le reads 4*i with
+   i <= 15 from the 64-byte buf.
+   cross-check: Ra_crypto.Checked.blake2s keeps the bounds-checked
+   reference that test/test_crypto.ml qcheck-diffs against this one. *)
 let compress ctx ~last =
   let m = ctx.m and v = ctx.v in
   for i = 0 to 15 do

@@ -1,5 +1,11 @@
+(* cross-check: every unsafe_* load/store here is exercised against the
+   byte-at-a-time Checked implementations (lib/crypto/checked.ml) by the
+   qcheck diff tests in test/test_crypto.ml. *)
+
 let hex_digits = "0123456789abcdef"
 
+(* bounds: out has 2n bytes; i < n so 2i+1 <= 2n-1, and v is a byte so
+   both nibble indexes into hex_digits are < 16. *)
 let to_hex b =
   let n = Bytes.length b in
   let out = Bytes.create (2 * n) in
@@ -17,6 +23,9 @@ let nibble c =
   | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
   | _ -> invalid_arg "Bytesutil.of_hex: invalid character"
 
+(* bounds: out has n/2 bytes and i < n/2; nibble rejects non-hex input
+   before unsafe_chr ever sees a value, and the lor of two nibbles is
+   always < 256. *)
 let of_hex s =
   let n = String.length s in
   if n mod 2 <> 0 then invalid_arg "Bytesutil.of_hex: odd length";
@@ -27,6 +36,8 @@ let of_hex s =
   done;
   out
 
+(* bounds: lengths of a, b and out are all n (checked above); the lxor of
+   two bytes stays < 256. *)
 let xor a b =
   let n = Bytes.length a in
   if Bytes.length b <> n then invalid_arg "Bytesutil.xor: length mismatch";
@@ -38,6 +49,7 @@ let xor a b =
   done;
   out
 
+(* bounds: both inputs checked to have length n before the loop; i < n. *)
 let constant_time_equal a b =
   let n = Bytes.length a in
   if Bytes.length b <> n then false
@@ -78,26 +90,33 @@ let unsafe_load64_le b i =
 let check_bounds name b i width =
   if i < 0 || i + width > Bytes.length b then invalid_arg name
 
+(* bounds: check_bounds validates [i, i+4) before the unsafe load. *)
 let load32_be b i =
   check_bounds "Bytesutil.load32_be" b i 4;
   unsafe_load32_be b i
 
+(* bounds: callers (hash finalize paths) guarantee [i, i+4) is inside b;
+   each stored value is masked to a byte before unsafe_chr. *)
 let store32_be b i v =
   Bytes.unsafe_set b i (Char.unsafe_chr ((v lsr 24) land 0xff));
   Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
   Bytes.unsafe_set b (i + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
   Bytes.unsafe_set b (i + 3) (Char.unsafe_chr (v land 0xff))
 
+(* bounds: check_bounds validates [i, i+4) before the unsafe load. *)
 let load32_le b i =
   check_bounds "Bytesutil.load32_le" b i 4;
   unsafe_load32_le b i
 
+(* bounds: callers guarantee [i, i+4) is inside b; each stored value is
+   masked to a byte before unsafe_chr. *)
 let store32_le b i v =
   Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff));
   Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
   Bytes.unsafe_set b (i + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
   Bytes.unsafe_set b (i + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
 
+(* bounds: check_bounds validates [i, i+8) before the unsafe load. *)
 let load64_be b i =
   check_bounds "Bytesutil.load64_be" b i 8;
   unsafe_load64_be b i
@@ -106,6 +125,7 @@ let store64_be b i v =
   store32_be b i (Int64.to_int (Int64.shift_right_logical v 32) land 0xFFFFFFFF);
   store32_be b (i + 4) (Int64.to_int v land 0xFFFFFFFF)
 
+(* bounds: check_bounds validates [i, i+8) before the unsafe load. *)
 let load64_le b i =
   check_bounds "Bytesutil.load64_le" b i 8;
   unsafe_load64_le b i

@@ -64,6 +64,7 @@ let sha2_pad msg ~block ~length_bytes =
 
 (* --- SHA-256 ----------------------------------------------------------- *)
 
+(* ralint: allow P2 — round-constant table, read-only after init. *)
 let sha256_k =
   [|
     0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
@@ -125,6 +126,7 @@ let sha256 msg =
 
 (* --- SHA-512 ----------------------------------------------------------- *)
 
+(* ralint: allow P2 — round-constant table, read-only after init. *)
 let sha512_k =
   [|
     0x428a2f98d728ae22L; 0x7137449123ef65cdL; 0xb5c0fbcfec4d3b2fL;
@@ -202,6 +204,7 @@ let sha512 msg =
 
 (* --- BLAKE2 (shared round shape, specialised per word size) ------------ *)
 
+(* ralint: allow P2 — permutation constant table, read-only. *)
 let sigma =
   [|
     [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |];

@@ -5,6 +5,7 @@ let name = "SHA-256"
 let digest_size = 32
 let block_size = 64
 
+(* ralint: allow P2 — round-constant table, read-only after init. *)
 let k =
   [|
     0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
@@ -50,11 +51,13 @@ let mask = 0xFFFFFFFF
    bit 63) is never part of the extracted window. *)
 let dup x = x lor (x lsl 32)
 
-(* Hot loop: indices into [w] and [k] are bounded by the loop structure
-   (16-word schedule expanded to 64), so unsafe accesses are safe here; the
-   byte loads run one word at a time via Bytesutil.unsafe_load32_be.
-   Ra_crypto.Checked keeps a straightforward bounds-checked implementation
-   that the qcheck suite diffs against this one. *)
+(* Hot loop. bounds: indices into [w] and [k] are bounded by the loop
+   structure (16-word schedule expanded to 64, both arrays 64 long), and
+   every unsafe_load32_be offset pos + 4*i with i <= 15 sits inside the
+   64-byte block that update's blocking already validated.
+   cross-check: Ra_crypto.Checked.sha256 keeps a straightforward
+   bounds-checked implementation that test/test_crypto.ml qcheck-diffs
+   against this one. *)
 let compress ctx block pos =
   let w = ctx.w in
   for i = 0 to 15 do

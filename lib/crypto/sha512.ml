@@ -2,6 +2,7 @@ let name = "SHA-512"
 let digest_size = 64
 let block_size = 128
 
+(* ralint: allow P2 — round-constant table, read-only after init. *)
 let k =
   [|
     0x428a2f98d728ae22L; 0x7137449123ef65cdL; 0xb5c0fbcfec4d3b2fL;
@@ -58,9 +59,12 @@ let init () =
 let rotr x n =
   Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
 
-(* Hot loop: all [w]/[k] indices are bounded by the loop structure, so
-   unsafe accesses are safe; Ra_crypto.Checked keeps the bounds-checked
-   reference that qcheck diffs against this. *)
+(* Hot loop. bounds: all [w]/[k] indices are bounded by the loop structure
+   (16-word schedule expanded to 80, both arrays 80 long), and every
+   unsafe_load64_be offset pos + 8*i with i <= 15 sits inside the 128-byte
+   block that update's blocking already validated.
+   cross-check: Ra_crypto.Checked.sha512 keeps the bounds-checked
+   reference that test/test_crypto.ml qcheck-diffs against this one. *)
 let compress ctx block pos =
   let open Int64 in
   let w = ctx.w in

@@ -12,6 +12,9 @@ type config = {
   store : Ra_cache.Store.t option;
 }
 
+(* ralint: allow P2 — the shared demo key Bytes is treated as immutable
+   by every consumer (HMAC/CMAC read it, nothing writes); configs derived
+   with { default_config with ... } alias it deliberately. *)
 let default_config =
   {
     seed = 1;

@@ -54,7 +54,24 @@ val to_json : suite -> string
 
 val write_file : string -> suite -> unit
 
+val escape_string : string -> string
+(** JSON string-body escaping, shared with every other tool that emits
+    JSON in this repo (ralint reports and baselines among them). *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_number of float
+  | J_string of string
+  | J_array of json list
+  | J_object of (string * json) list
+
 exception Parse_error of string
+
+val parse_json : string -> json
+(** The dependency-free recursive-descent parser behind {!read_file},
+    exposed for the other JSON files in the repo (e.g. ralint's
+    [LINT_BASELINE.json]). Raises {!Parse_error} on malformed input. *)
 
 val read_file : string -> suite
 (** Parse a file written by {!write_file}. Raises {!Parse_error} (or

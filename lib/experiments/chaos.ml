@@ -290,6 +290,7 @@ let rp_schemes =
     ("smarm", Scheme.smarm);
   ]
 
+(* ralint: allow P2 — read-only profile table indexed per trial. *)
 let profiles = [| Faults.Network_only; Faults.With_partition; Faults.With_crash |]
 
 let run ?jobs ?(seed = 42) ~trials () =

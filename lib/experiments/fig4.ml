@@ -36,6 +36,8 @@ let block_real_bytes = 256
 let modeled_block_bytes = 56 * 1024 * 1024
 let mp_start = Timebase.s 1
 
+(* ralint: allow P2 — constant write payload; Memory.set_block copies it
+   into the block, so sharing across trials/domains is read-only. *)
 let payload = Bytes.of_string "fig4-injected-write-payload!"
 
 (* A writer task: attempts the write as a 1 us high-priority CPU job (so

@@ -1,0 +1,99 @@
+(** Project-specific static analysis over the repo's own sources (see
+    DESIGN.md §10). Parses with compiler-libs and enforces the invariants
+    the simulator otherwise only checks dynamically:
+
+    - {b D determinism}: D1 global-PRNG [Random], D2 wall-clock reads
+      outside the benchmark allowlist, D3 [Hashtbl] iteration order
+      escaping without a sort at the site.
+    - {b P parallel-safety}: P1 [Domain]/[Mutex]/[Atomic]/... outside
+      [lib/parallel] + [lib/cache], P2 module-level mutable state in code
+      reachable from [Ra_parallel] task closures.
+    - {b U unsafe audit}: U1 [unsafe_*] access in a function without a
+      [(* bounds: ... *)] justification, U2 an unsafe-using module without
+      a [(* cross-check: ... *)] naming its reference implementation.
+    - {b I interface hygiene}: I1 [lib/**.ml] without a matching [.mli]
+      (module-type-only files exempt).
+
+    Checks are syntactic and conservative. A site can be waived in-source
+    with [(* ralint: allow <RULE> — reason *)], or accepted into the
+    committed ratchet baseline ([LINT_BASELINE.json]): baselined findings
+    keep passing, new ones fail, fixed ones are reported as drift. *)
+
+type finding = {
+  rule : string;  (** e.g. ["D3"] *)
+  file : string;  (** repo-relative path *)
+  line : int;
+  col : int;
+  fingerprint : string;
+      (** stable across pure line moves: rule + file + flagged token +
+          per-file occurrence index *)
+  message : string;
+}
+
+type config = {
+  time_allowlist : string list;
+  parallel_allowlist : string list;
+  interface_allowlist : string list;
+  p2_paths : string list option;
+      (** [None]: P2 applies everywhere outside [parallel_allowlist];
+          [Some prefixes]: only under these (the reachable set from
+          {!Reach.parallel_reachable}) *)
+  comment_reach : int;
+      (** lines above a binding an attaching comment may end (default 3) *)
+}
+
+val default_config : config
+
+exception Lint_parse_error of string * int
+(** Message and line; raised when a linted file does not parse. *)
+
+val lint_source : ?config:config -> file:string -> string -> finding list
+(** Run rule families D, P and U over one implementation source. [file] is
+    the repo-relative path used for allowlists and fingerprints. Findings
+    are in (line, column) order. Not reentrant: compiler-libs keeps lexer
+    comment state globally. *)
+
+val check_interface :
+  ?config:config -> file:string -> mli_exists:bool -> string -> finding list
+(** Rule I for one [.ml] source: empty when [mli_exists], when the file is
+    allowlisted, or when the structure is module-type-only. *)
+
+(** {1 Baseline ratchet} *)
+
+type baseline_entry = { b_rule : string; b_file : string; b_fingerprint : string }
+
+val baseline_to_json : baseline_entry list -> string
+
+val baseline_of_json : string -> baseline_entry list
+(** Raises [Ra_experiments.Benchkit.Parse_error] on malformed input.
+    [baseline_of_json (baseline_to_json b) = b] — property-tested in
+    [test/test_lint.ml]. *)
+
+val entry_of_finding : finding -> baseline_entry
+
+type verdict = New | Baselined
+
+type report = {
+  findings : (finding * verdict) list;
+  stale : baseline_entry list;
+      (** accepted sites that no longer fire — ratchet can tighten *)
+}
+
+val diff : baseline:baseline_entry list -> finding list -> report
+
+val new_findings : report -> finding list
+(** The findings that must fail the run (not covered by the baseline). *)
+
+val render_human : report -> string
+
+val render_json : report -> string
+
+(** {1 Rule P2 scope} *)
+
+module Reach : sig
+  val parallel_reachable : root:string -> string list
+  (** Directory prefixes (["lib/<d>/"]) of every library whose code a
+      [Ra_parallel] task closure can run: libraries that mention
+      [Ra_parallel] plus their transitive dune dependencies, computed
+      from [lib/*/dune]. *)
+end

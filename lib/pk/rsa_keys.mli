@@ -1,0 +1,19 @@
+(** Fixed RSA test keys (e = 65537), generated offline once and embedded so
+    that benchmarks and tests are reproducible without a prime generator.
+    These keys protect nothing; they exist to measure and exercise signing.
+
+    Moduli and private exponents are lowercase hex, sized by the name. *)
+
+val e : int
+
+val n1024 : string
+
+val d1024 : string
+
+val n2048 : string
+
+val d2048 : string
+
+val n4096 : string
+
+val d4096 : string

@@ -5,7 +5,11 @@
    option-wrapped tuple, so a full push/pop cycle on a warm queue allocates
    nothing. Keys and sequence numbers live in unboxed [int array]s; values
    in a parallel ['a array]. A dropped slot keeps its last value until it is
-   overwritten, so values must tolerate being referenced past their pop. *)
+   overwritten, so values must tolerate being referenced past their pop.
+
+   cross-check: {!Heap} is the bounds-checked reference; test/test_sim.ml
+   qcheck-diffs full push/pop schedules between the two (stable-sort
+   equivalence property). *)
 
 type 'a t = {
   mutable keys : int array;
@@ -47,17 +51,22 @@ let grow q value =
    of a 3-array swap — about half the memory traffic of the classic
    swap-based version, and the engine pop path is exactly this. *)
 
+(* bounds: callers pass heap slots already inside [0, size), and size never
+   exceeds the capacity shared by all three parallel arrays. *)
 let move q ~from into =
   Array.unsafe_set q.keys into (Array.unsafe_get q.keys from);
   Array.unsafe_set q.seqs into (Array.unsafe_get q.seqs from);
   Array.unsafe_set q.vals into (Array.unsafe_get q.vals from)
 
+(* bounds: [i] is a hole index returned by rise/sink, both of which stay
+   within [0, size) <= capacity. *)
 let place q ~key ~seq value i =
   Array.unsafe_set q.keys i key;
   Array.unsafe_set q.seqs i seq;
   Array.unsafe_set q.vals i value
 
-(* Walk the hole at [i] up while (key, seq) beats the parent. *)
+(* Walk the hole at [i] up while (key, seq) beats the parent.
+   bounds: parent = (i-1)/2 < i and the initial hole is < size. *)
 let rec rise q ~key ~seq i =
   if i = 0 then i
   else begin
@@ -70,7 +79,8 @@ let rec rise q ~key ~seq i =
     else i
   end
 
-(* Walk the hole at [i] down while a child beats (key, seq). *)
+(* Walk the hole at [i] down while a child beats (key, seq).
+   bounds: children are only read after the l >= size / r < size guards. *)
 let rec sink q ~key ~seq i =
   let l = (2 * i) + 1 in
   if l >= q.size then i
@@ -101,18 +111,23 @@ let push q ~key ~seq value =
   q.size <- i + 1;
   place q ~key ~seq value (rise q ~key ~seq i)
 
+(* bounds: the emptiness check guarantees slot 0 is live. *)
 let min_key q =
   if q.size = 0 then invalid_arg "Eventq.min_key: empty";
   Array.unsafe_get q.keys 0
 
+(* bounds: the emptiness check guarantees slot 0 is live. *)
 let min_seq q =
   if q.size = 0 then invalid_arg "Eventq.min_seq: empty";
   Array.unsafe_get q.seqs 0
 
+(* bounds: the emptiness check guarantees slot 0 is live. *)
 let min_value q =
   if q.size = 0 then invalid_arg "Eventq.min_value: empty";
   Array.unsafe_get q.vals 0
 
+(* bounds: the emptiness check guarantees [last] = size - 1 is a live
+   slot; the sifted hole stays within the shrunken heap. *)
 let drop_min q =
   if q.size = 0 then invalid_arg "Eventq.drop_min: empty";
   let last = q.size - 1 in

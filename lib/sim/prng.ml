@@ -79,6 +79,10 @@ let permutation g n =
   shuffle_in_place g a;
   a
 
+(* bounds: b has exactly n bytes and i < n; int ~bound:256 yields a value
+   in [0, 256) so unsafe_chr is total.
+   cross-check: determinism and distribution of the generator are pinned
+   by the fixed-seed stream tests in test/test_sim.ml. *)
 let bytes g n =
   let b = Bytes.create n in
   for i = 0 to n - 1 do

@@ -351,6 +351,10 @@ let report t =
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
         (Health.history d.machine))
     t.roster;
+  (* The digest below concatenates these edges in list order, so bucket
+     order must never escape the fold: sort at the fold site (ralint rule
+     D3 enforces exactly this shape — fold directly under an explicit
+     sort), keyed on the rendered names for a stable, readable order. *)
   let transition_counts =
     List.sort
       (fun ((f1, c1, t1), _) ((f2, c2, t2), _) ->

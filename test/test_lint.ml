@@ -1,0 +1,265 @@
+(* Tests for the ralint rule engine (lib/lint): one positive (detected)
+   and one negative (clean) fixture per rule family, suppression-comment
+   and fingerprint behaviour, interface hygiene, and a qcheck property
+   that the LINT_BASELINE.json round trip (emit -> parse -> compare) is
+   the identity. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Inline fixtures live under a path outside every allowlist unless a test
+   says otherwise. *)
+let lint ?config ?(file = "lib/core/fixture.ml") source =
+  Ra_lint.lint_source ?config ~file source
+
+let rules findings = List.map (fun f -> f.Ra_lint.rule) findings
+
+let rules_testable = Alcotest.(list string)
+
+(* --- family D: determinism ---------------------------------------------- *)
+
+let d_positive () =
+  check rules_testable "global Random fires D1" [ "D1" ]
+    (rules (lint "let roll () = Random.int 6\n"));
+  check rules_testable "self_init fires D1" [ "D1" ]
+    (rules (lint "let () = Random.self_init ()\n"));
+  check rules_testable "gettimeofday fires D2" [ "D2" ]
+    (rules (lint "let now () = Unix.gettimeofday ()\n"));
+  check rules_testable "Sys.time fires D2" [ "D2" ]
+    (rules (lint "let cpu () = Sys.time ()\n"));
+  check rules_testable "Hashtbl.iter fires D3" [ "D3" ]
+    (rules (lint "let dump t = Hashtbl.iter (fun k _ -> print_string k) t\n"));
+  check rules_testable "unsorted Hashtbl.fold escape fires D3" [ "D3" ]
+    (rules (lint "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n"))
+
+let d_negative () =
+  check rules_testable "Random.State is deterministic-by-seed" []
+    (rules (lint "let roll st = Random.State.int st 6\n"));
+  check rules_testable "wall clock is allowed in benchkit" []
+    (rules
+       (lint ~file:"lib/experiments/benchkit.ml" "let t0 = Unix.gettimeofday ()\n"));
+  check rules_testable "wall clock is allowed under bench/" []
+    (rules (lint ~file:"bench/main.ml" "let t0 = Unix.gettimeofday ()\n"));
+  check rules_testable "fold sorted at the site is clean" []
+    (rules
+       (lint
+          "let keys t =\n\
+          \  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])\n"))
+
+(* --- family P: parallel-safety ------------------------------------------ *)
+
+let p_positive () =
+  check rules_testable "Mutex outside the allowlist fires P1" [ "P1" ]
+    (rules (lint "let m = Mutex.create ()\n" |> List.filter (fun f -> f.Ra_lint.rule = "P1")));
+  check rules_testable "Domain.spawn outside the allowlist fires P1" [ "P1" ]
+    (rules (lint "let d f = Domain.spawn f\n"));
+  check rules_testable "toplevel Hashtbl fires P2" [ "P2" ]
+    (rules (lint "let memo = Hashtbl.create 16\n"));
+  check rules_testable "toplevel ref behind a tuple fires P2" [ "P2" ]
+    (rules (lint "let state = (ref 0, 1)\n"));
+  check rules_testable "toplevel array literal fires P2" [ "P2" ]
+    (rules (lint "let tbl = [| 1; 2; 3 |]\n"))
+
+let p_negative () =
+  check rules_testable "Mutex inside lib/cache is allowed" []
+    (rules (lint ~file:"lib/cache/ra_cache.ml" "let m = Mutex.create ()\n"));
+  check rules_testable "per-call state is not module state" []
+    (rules (lint "let fresh () = Hashtbl.create 16\n"));
+  check rules_testable "P2 scoping excludes unreachable paths" []
+    (rules
+       (lint
+          ~config:
+            { Ra_lint.default_config with Ra_lint.p2_paths = Some [ "lib/core/" ] }
+          ~file:"lib/hydra/fixture.ml" "let memo = Hashtbl.create 16\n"))
+
+(* --- family U: unsafe audit --------------------------------------------- *)
+
+let u_positive () =
+  check rules_testable "bare unsafe access fires U1 and U2" [ "U1"; "U2" ]
+    (rules (lint "let head b = Bytes.unsafe_get b 0\n"));
+  check rules_testable "cross-check alone still fires U1" [ "U1" ]
+    (rules
+       (lint
+          "(* cross-check: Checked.fixture in test_lint.ml *)\n\
+           let head b = Bytes.unsafe_get b 0\n"));
+  check rules_testable "bounds comment alone still fires U2" [ "U2" ]
+    (rules
+       (lint "(* bounds: b is non-empty by construction. *)\nlet head b = Bytes.unsafe_get b 0\n"))
+
+let u_negative () =
+  check rules_testable "bounds + cross-check is clean" []
+    (rules
+       (lint
+          "(* cross-check: Checked.fixture in test_lint.ml.\n\
+          \   bounds: b is non-empty by construction. *)\n\
+           let head b = Bytes.unsafe_get b 0\n"));
+  check rules_testable "bounds comment inside the function attaches" []
+    (rules
+       (lint
+          "(* cross-check: Checked.fixture in test_lint.ml *)\n\
+           let head b =\n\
+          \  (* bounds: b is non-empty by construction. *)\n\
+          \  Bytes.unsafe_get b 0\n"));
+  check rules_testable "a far-away bounds comment does not attach"
+    [ "U1" ]
+    (rules
+       (lint
+          "(* cross-check: Checked.fixture in test_lint.ml.\n\
+          \   bounds: for some other function far above. *)\n\
+           let unrelated = 1\n\
+           let also_unrelated = 2\n\
+           let and_more = 3\n\
+           let head b = Bytes.unsafe_get b 0\n"))
+
+(* --- family I: interface hygiene ---------------------------------------- *)
+
+let i_positive () =
+  check rules_testable "missing .mli fires I1" [ "I1" ]
+    (rules
+       (Ra_lint.check_interface ~file:"lib/core/fixture.ml" ~mli_exists:false
+          "let answer = 42\n"))
+
+let i_negative () =
+  check rules_testable "present .mli is clean" []
+    (rules
+       (Ra_lint.check_interface ~file:"lib/core/fixture.ml" ~mli_exists:true
+          "let answer = 42\n"));
+  check rules_testable "module-type-only file is exempt" []
+    (rules
+       (Ra_lint.check_interface ~file:"lib/core/fixture_intf.ml" ~mli_exists:false
+          "module type S = sig\n  val x : int\nend\n"));
+  check rules_testable "allowlisted file is exempt" []
+    (rules
+       (Ra_lint.check_interface ~file:"lib/crypto/digest_intf.ml" ~mli_exists:false
+          "let not_actually_an_interface = 0\n"))
+
+(* --- suppressions and fingerprints -------------------------------------- *)
+
+let suppression () =
+  check rules_testable "in-source waiver silences the named rule" []
+    (rules
+       (lint
+          "(* ralint: allow P2 -- read-only table for tests. *)\n\
+           let tbl = [| 1; 2 |]\n"));
+  check rules_testable "waiver family letter covers the family" []
+    (rules (lint "(* ralint: allow D -- fixture. *)\nlet roll () = Random.int 6\n"));
+  check rules_testable "waiver covers adjacent attached items" []
+    (rules
+       (lint
+          "(* ralint: allow P2 -- two read-only tables. *)\n\
+           let a = [| 1 |]\n\
+           let b = [| 2 |]\n"));
+  check rules_testable "waiver for one rule leaves others firing" [ "D1" ]
+    (rules (lint "(* ralint: allow P2 -- fixture. *)\nlet r () = Random.int 3\n"))
+
+let fingerprints () =
+  let fs =
+    lint "let a b = Bytes.unsafe_get b 0\nlet c b = Bytes.unsafe_get b 1\n"
+    |> List.filter (fun f -> f.Ra_lint.rule = "U1")
+  in
+  check (Alcotest.list Alcotest.string) "occurrence-indexed fingerprints"
+    [
+      "U1:lib/core/fixture.ml:Bytes.unsafe_get#0";
+      "U1:lib/core/fixture.ml:Bytes.unsafe_get#1";
+    ]
+    (List.map (fun f -> f.Ra_lint.fingerprint) fs);
+  (* A pure line move (leading comment) must not change fingerprints. *)
+  let moved =
+    lint
+      "(* a comment that shifts every line *)\n\n\
+       let a b = Bytes.unsafe_get b 0\nlet c b = Bytes.unsafe_get b 1\n"
+    |> List.filter (fun f -> f.Ra_lint.rule = "U1")
+  in
+  check (Alcotest.list Alcotest.string) "fingerprints are line-move stable"
+    (List.map (fun f -> f.Ra_lint.fingerprint) fs)
+    (List.map (fun f -> f.Ra_lint.fingerprint) moved)
+
+let parse_error () =
+  Alcotest.check_raises "unparseable source raises"
+    (Ra_lint.Lint_parse_error ("syntax error", 1)) (fun () ->
+      ignore (lint "let let let\n"))
+
+(* --- baseline ratchet ---------------------------------------------------- *)
+
+let baseline_diff () =
+  let findings =
+    lint "let a b = Bytes.unsafe_get b 0\n"
+  in
+  (* All new against an empty baseline. *)
+  let r0 = Ra_lint.diff ~baseline:[] findings in
+  check Alcotest.int "all findings new" (List.length findings)
+    (List.length (Ra_lint.new_findings r0));
+  (* Accepted once baselined; nothing new, nothing stale. *)
+  let baseline = List.map Ra_lint.entry_of_finding findings in
+  let r1 = Ra_lint.diff ~baseline findings in
+  check Alcotest.int "baselined findings are not new" 0
+    (List.length (Ra_lint.new_findings r1));
+  check Alcotest.int "no stale entries while sites fire" 0 (List.length r1.Ra_lint.stale);
+  (* Fixed sites surface as drift. *)
+  let r2 = Ra_lint.diff ~baseline [] in
+  check Alcotest.int "fixed sites are stale" (List.length baseline)
+    (List.length r2.Ra_lint.stale)
+
+let entry_gen =
+  let open QCheck in
+  let token = string_small_of Gen.printable in
+  Gen.map
+    (fun ((r, f), p) -> { Ra_lint.b_rule = r; b_file = f; b_fingerprint = p })
+    Gen.(pair (pair token.gen token.gen) token.gen)
+
+let baseline_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"baseline emit -> parse -> compare is identity"
+    (QCheck.make
+       ~print:(fun es -> Ra_lint.baseline_to_json es)
+       QCheck.Gen.(list_size (int_bound 12) entry_gen))
+    (fun entries ->
+      Ra_lint.baseline_of_json (Ra_lint.baseline_to_json entries) = entries)
+
+(* --- repo-level invariants ----------------------------------------------- *)
+
+let reachability () =
+  (* The rule-P2 scope must include the libraries that submit Ra_parallel
+     tasks and their dependencies, and must never include lib/parallel
+     itself (it is the allowlisted implementation). *)
+  (* cwd differs between `dune runtest` (the test's build dir) and a direct
+     exec from the repo root; probe upward for the tree that holds lib/. *)
+  let root =
+    List.find
+      (fun r -> Sys.file_exists (Filename.concat r "lib/parallel/dune"))
+      [ "."; ".."; "../.."; "../../.." ]
+  in
+  let dirs = Ra_lint.Reach.parallel_reachable ~root in
+  Alcotest.(check bool) "experiments submit tasks" true
+    (List.mem "lib/experiments/" dirs);
+  Alcotest.(check bool) "core is reachable from task closures" true
+    (List.mem "lib/core/" dirs);
+  Alcotest.(check bool) "crypto is reachable from task closures" true
+    (List.mem "lib/crypto/" dirs)
+
+let () =
+  Alcotest.run "ra_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "D positive" `Quick d_positive;
+          Alcotest.test_case "D negative" `Quick d_negative;
+          Alcotest.test_case "P positive" `Quick p_positive;
+          Alcotest.test_case "P negative" `Quick p_negative;
+          Alcotest.test_case "U positive" `Quick u_positive;
+          Alcotest.test_case "U negative" `Quick u_negative;
+          Alcotest.test_case "I positive" `Quick i_positive;
+          Alcotest.test_case "I negative" `Quick i_negative;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "suppressions" `Quick suppression;
+          Alcotest.test_case "fingerprints" `Quick fingerprints;
+          Alcotest.test_case "parse error" `Quick parse_error;
+          Alcotest.test_case "reachability" `Quick reachability;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "diff semantics" `Quick baseline_diff;
+          qtest baseline_roundtrip;
+        ] );
+    ]
