@@ -1,4 +1,4 @@
-.PHONY: build test lint lint-update chaos fleet-chaos check bench bench-json bench-check clean
+.PHONY: build test lint lint-update chaos fleet-chaos replay check bench bench-json bench-check clean
 
 build:
 	dune build
@@ -31,7 +31,16 @@ chaos: build
 fleet-chaos: build
 	dune exec bin/ratool.exe -- fleet-chaos --devices 200 --jobs 4 --check-jobs 1
 
-check: build test lint chaos fleet-chaos
+# The crash-recovery gate: record a campaign into a write-ahead journal,
+# kill the verifier mid-campaign (torn WAL tail), resume from
+# journal+snapshot and require a digest bit-identical to a never-killed
+# run at two job counts; then replay the repaired journal record-by-record.
+replay: build
+	dune exec bin/ratool.exe -- fleet-chaos --devices 200 --jobs 4 \
+	  --kill-at-round 5 --resume --check-jobs 1 --journal _build/fleet-chaos-journal
+	dune exec bin/ratool.exe -- replay --journal _build/fleet-chaos-journal/j4
+
+check: build test lint chaos fleet-chaos replay
 
 # Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build

@@ -387,19 +387,26 @@ let emit_json ~quick dir =
       Printf.printf "wrote %s (%d metrics)\n" path (List.length suite.metrics))
     [ ("BENCH_crypto.json", crypto); ("BENCH_sim.json", sim) ]
 
+let usage_text =
+  "usage: bench/main.exe [--json [DIR]] [--quick] [--jobs N]\n\
+   \  (no flags)      regenerate all tables/figures + Bechamel microbenches\n\
+   \  --json [DIR]    write BENCH_crypto.json and BENCH_sim.json to DIR (default .)\n\
+   \  --quick         shrink buffers/budgets for a fast smoke run\n\
+   \  --jobs N        domain count for the parallel experiment drivers\n\
+   \  --help          show this message"
+
+(* unknown flags: usage on stderr, non-zero exit — same contract as ratool *)
 let usage () =
-  prerr_endline
-    "usage: bench/main.exe [--json [DIR]] [--quick] [--jobs N]\n\
-     \  (no flags)      regenerate all tables/figures + Bechamel microbenches\n\
-     \  --json [DIR]    write BENCH_crypto.json and BENCH_sim.json to DIR (default .)\n\
-     \  --quick         shrink buffers/budgets for a fast smoke run\n\
-     \  --jobs N        domain count for the parallel experiment drivers";
+  prerr_endline usage_text;
   exit 2
 
 let () =
   let json_dir = ref None and quick = ref false in
   let rec parse = function
     | [] -> ()
+    | ("--help" | "-h" | "-help") :: _ ->
+      print_endline usage_text;
+      exit 0
     | "--json" :: rest -> (
       match rest with
       | dir :: rest when String.length dir > 0 && dir.[0] <> '-' ->

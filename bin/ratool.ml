@@ -566,53 +566,193 @@ let chaos_cmd =
 
 (* --- fleet-chaos ------------------------------------------------------------ *)
 
-let run_fleet_chaos devices jobs seed rounds check_jobs =
+(* comma-separated positive job counts, rejected at parse time (usage error
+   before any experiment runs) rather than after a full campaign *)
+let jobs_list_conv =
+  let parse s =
+    let entries = List.map String.trim (String.split_on_char ',' s) in
+    let ints = List.map int_of_string_opt entries in
+    if entries = [] || List.exists (function Some j -> j < 1 | None -> true) ints
+    then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid job list %S: expected comma-separated positive integers \
+              (e.g. 1,4)"
+             s))
+    else Ok (List.filter_map Fun.id ints)
+  in
+  let print fmt js =
+    Format.pp_print_string fmt (String.concat "," (List.map string_of_int js))
+  in
+  Arg.conv ~docv:"J1,J2" (parse, print)
+
+let check_jobs_arg =
+  Arg.(
+    value & opt jobs_list_conv []
+    & info [ "check-jobs" ] ~docv:"J1,J2"
+        ~doc:
+          "Repeat the run at each of these job counts and fail unless every \
+           counter digest is bit-identical.")
+
+let fc_digest r = r.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest
+let fc_detections r =
+  List.length r.Fleet_chaos.report.Ra_supervisor.Supervisor.detections
+
+let default_journal_dir = "fleet-chaos-journal"
+
+(* The crash-recovery proof: for each jobs value, record a campaign into its
+   own journal directory, kill it mid-round-K, resume from journal+snapshot,
+   and require the finished run to match a never-killed reference run —
+   same digest, same detection count, no invariant violations. *)
+let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs =
+  let reference = Fleet_chaos.run ~devices ~seed ~jobs:1 ~max_rounds:rounds () in
+  print_string (Fleet_chaos.render reference);
+  Printf.printf "\nkill/resume proof: kill at round %d, journals under %s/\n"
+    kill_at dir;
+  let failures =
+    List.concat_map
+      (fun j ->
+        let subdir = Filename.concat dir (Printf.sprintf "j%d" j) in
+        let disk = Ra_journal.Disk.file ~dir:subdir in
+        let killed =
+          Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs:j
+            ~max_rounds:rounds ~kill_at_round:kill_at ()
+        in
+        if not killed then
+          [ Printf.sprintf
+              "jobs=%d: campaign converged before round %d; nothing was killed"
+              j kill_at ]
+        else
+          match Fleet_chaos.resume ~disk ~jobs:j () with
+          | Error e -> [ Printf.sprintf "jobs=%d: resume failed: %s" j e ]
+          | Ok r ->
+            let problems =
+              (if r.Fleet_chaos.violations <> [] then
+                 [ Printf.sprintf "jobs=%d: resumed run violated invariants" j ]
+               else [])
+              @ (if not (String.equal (fc_digest r) (fc_digest reference)) then
+                   [ Printf.sprintf "jobs=%d: digest diverged:\n  %s\n  %s" j
+                       (fc_digest reference) (fc_digest r) ]
+                 else [])
+              @
+              if fc_detections r <> fc_detections reference then
+                [ Printf.sprintf "jobs=%d: detections %d/%d vs reference" j
+                    (fc_detections r) (fc_detections reference) ]
+              else []
+            in
+            if problems = [] then
+              Printf.printf
+                "jobs=%d: killed at round %d, resumed, converged — digest and \
+                 %d/%d detections bit-identical to the unkilled run\n"
+                j kill_at (fc_detections r) (fc_detections reference);
+            problems)
+      all_jobs
+  in
+  if failures = [] && reference.Fleet_chaos.violations = [] then `Ok ()
+  else begin
+    List.iter (fun m -> Printf.eprintf "ratool fleet-chaos: %s\n" m) failures;
+    prerr_endline "ratool fleet-chaos: crash-recovery proof failed";
+    exit 1
+  end
+
+let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
+    resume =
   if devices < 1 then `Error (true, "--devices must be at least 1")
   else if jobs < 1 then `Error (true, "--jobs must be at least 1")
-  else begin
-    let r = Fleet_chaos.run ~devices ~seed ~jobs ~max_rounds:rounds () in
-    print_string (Fleet_chaos.render r);
-    let digest = r.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest in
-    let mismatches =
-      match check_jobs with
-      | None -> []
-      | Some spec ->
+  else
+    match (kill_at, resume) with
+    | Some k, _ when k < 1 -> `Error (true, "--kill-at-round must be at least 1")
+    | Some k, true ->
+      let dir = Option.value journal_dir ~default:default_journal_dir in
+      let all_jobs = jobs :: List.filter (fun j -> j <> jobs) check_jobs in
+      kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at:k ~all_jobs
+    | Some k, false ->
+      (* record a crash artifact and stop — resume it in a later invocation *)
+      let dir = Option.value journal_dir ~default:default_journal_dir in
+      let disk = Ra_journal.Disk.file ~dir in
+      let killed =
+        Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs ~max_rounds:rounds
+          ~kill_at_round:k ()
+      in
+      if killed then
+        Printf.printf
+          "campaign killed after round %d; journal left in %s/\n\
+           resume it with: ratool fleet-chaos --resume --journal %s\n"
+          k dir dir
+      else
+        Printf.printf
+          "campaign converged before round %d; complete journal in %s/\n" k dir;
+      `Ok ()
+    | None, true ->
+      if check_jobs <> [] then
+        `Error
+          ( true,
+            "--check-jobs does not combine with a bare --resume (resuming \
+             completes the journal); use --kill-at-round K --resume" )
+      else begin
+        let dir = Option.value journal_dir ~default:default_journal_dir in
+        let disk = Ra_journal.Disk.file ~dir in
+        match Fleet_chaos.resume ~disk ~jobs () with
+        | Error e -> `Error (false, "resume failed: " ^ e)
+        | Ok r ->
+          print_string (Fleet_chaos.render r);
+          if r.Fleet_chaos.violations = [] then `Ok ()
+          else begin
+            prerr_endline "ratool fleet-chaos: convergence invariants violated";
+            exit 1
+          end
+      end
+    | None, false ->
+      let journal =
+        Option.map
+          (fun dir -> Ra_journal.Journal.create (Ra_journal.Disk.file ~dir))
+          journal_dir
+      in
+      let r = Fleet_chaos.run ~devices ~seed ~jobs ?journal ~max_rounds:rounds () in
+      print_string (Fleet_chaos.render r);
+      (match journal_dir with
+      | Some dir ->
+        Printf.printf "campaign journal recorded in %s/ (ratool replay --journal %s)\n"
+          dir dir
+      | None -> ());
+      let mismatches =
         List.filter_map
-          (fun s ->
-            match int_of_string_opt (String.trim s) with
-            | None | Some 0 ->
-              Some (Printf.sprintf "bad --check-jobs entry %S" s)
-            | Some j ->
-              let r' =
-                Fleet_chaos.run ~devices ~seed ~jobs:j ~max_rounds:rounds ()
-              in
-              let digest' =
-                r'.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest
-              in
-              if String.equal digest digest' then begin
-                Printf.printf "jobs=%d: counters bit-identical\n" j;
-                None
-              end
-              else
-                Some
-                  (Printf.sprintf "jobs=%d diverged:\n  %s\n  %s" j digest
-                     digest'))
-          (String.split_on_char ',' spec)
-    in
-    if r.Fleet_chaos.violations = [] && mismatches = [] then `Ok ()
-    else begin
-      List.iter (fun m -> Printf.eprintf "ratool fleet-chaos: %s\n" m) mismatches;
-      prerr_endline "ratool fleet-chaos: convergence invariants violated";
-      exit 1
-    end
-  end
+          (fun j ->
+            let r' = Fleet_chaos.run ~devices ~seed ~jobs:j ~max_rounds:rounds () in
+            if String.equal (fc_digest r) (fc_digest r') then begin
+              Printf.printf "jobs=%d: counters bit-identical\n" j;
+              None
+            end
+            else
+              Some
+                (Printf.sprintf "jobs=%d diverged:\n  %s\n  %s" j (fc_digest r)
+                   (fc_digest r')))
+          check_jobs
+      in
+      if r.Fleet_chaos.violations = [] && mismatches = [] then `Ok ()
+      else begin
+        List.iter (fun m -> Printf.eprintf "ratool fleet-chaos: %s\n" m) mismatches;
+        prerr_endline "ratool fleet-chaos: convergence invariants violated";
+        exit 1
+      end
+
+let journal_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Journal directory: record the campaign's write-ahead log and \
+           snapshots there (defaults to $(b,fleet-chaos-journal/) when \
+           $(b,--kill-at-round) or $(b,--resume) is given).")
 
 let fleet_chaos_cmd =
   let doc =
     "Fleet-scale chaos: crash/partition/corruption/malware faults on a \
      deterministic schedule under the health supervisor, asserting \
-     convergence invariants (and jobs-invariant counters with \
-     $(b,--check-jobs))"
+     convergence invariants (jobs-invariant counters with $(b,--check-jobs), \
+     durable journals with $(b,--journal), and the crash-recovery proof with \
+     $(b,--kill-at-round K --resume))"
   in
   let devices_arg =
     Arg.(
@@ -630,20 +770,93 @@ let fleet_chaos_cmd =
       value & opt int 20
       & info [ "rounds" ] ~docv:"R" ~doc:"Supervision round budget (30 s of virtual time each).")
   in
-  let check_jobs_arg =
+  let kill_at_arg =
     Arg.(
-      value & opt (some string) None
-      & info [ "check-jobs" ] ~docv:"J1,J2"
+      value & opt (some int) None
+      & info [ "kill-at-round" ] ~docv:"K"
           ~doc:
-            "Re-run the whole experiment at each of these job counts and fail \
-             unless every counter digest is bit-identical.")
+            "Kill the verifier after $(docv) completed rounds, leaving a torn \
+             record on the WAL tail. With $(b,--resume), prove recovery: kill, \
+             resume and compare against an unkilled reference run for every \
+             job count.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover the journal in $(b,--journal) and supervise the campaign \
+             to convergence (with $(b,--kill-at-round), run the full \
+             kill/resume proof instead).")
   in
   let info = Cmd.info "fleet-chaos" ~doc in
   Cmd.v info
     Term.(
       ret
         (const run_fleet_chaos $ devices_arg $ fc_jobs_arg $ seed_arg
-       $ rounds_arg $ check_jobs_arg))
+       $ rounds_arg $ check_jobs_arg $ journal_dir_arg $ kill_at_arg
+       $ resume_arg))
+
+(* --- replay ------------------------------------------------------------------ *)
+
+let run_replay jobs dir check_jobs =
+  if jobs < 1 then `Error (true, "--jobs must be at least 1")
+  else begin
+    let disk = Ra_journal.Disk.file ~dir in
+    let all_jobs = jobs :: List.filter (fun j -> j <> jobs) check_jobs in
+    let outcome =
+      List.fold_left
+        (fun acc j ->
+          match acc with
+          | Error _ -> acc
+          | Ok _ -> (
+            match Fleet_chaos.replay ~disk ~jobs:j () with
+            | Error e -> Error (j, e)
+            | Ok r ->
+              Printf.printf
+                "jobs=%d: replayed bit-identically — every record and the \
+                 final digest verified\n"
+                j;
+              Ok (Some r)))
+        (Ok None) all_jobs
+    in
+    match outcome with
+    | Error (j, e) ->
+      Printf.eprintf "ratool replay: jobs=%d diverged from the journal: %s\n" j e;
+      exit 1
+    | Ok None -> `Ok ()
+    | Ok (Some r) ->
+      print_newline ();
+      print_string (Fleet_chaos.render r);
+      if r.Fleet_chaos.violations = [] then `Ok ()
+      else begin
+        prerr_endline "ratool replay: replayed campaign violated invariants";
+        exit 1
+      end
+  end
+
+let replay_cmd =
+  let doc =
+    "Reconstruct fleet state from a recorded journal (snapshot + deltas), \
+     re-run the campaign and verify every record bit-identically — counter \
+     digests are equal for any $(b,--jobs) value"
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string default_journal_dir
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Journal directory recorded by $(b,ratool fleet-chaos --journal).")
+  in
+  let rp_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Domains driving the re-execution (the verified records are \
+                identical for any value).")
+  in
+  let info = Cmd.info "replay" ~doc in
+  Cmd.v info
+    Term.(ret (const run_replay $ rp_jobs_arg $ dir_arg $ check_jobs_arg))
 
 (* --- bench ------------------------------------------------------------------ *)
 
@@ -784,6 +997,7 @@ let main =
       fleet_cmd;
       chaos_cmd;
       fleet_chaos_cmd;
+      replay_cmd;
       bench_cmd;
       all_cmd;
     ]

@@ -73,7 +73,7 @@ let hit_rate rc =
    is a race under [jobs] > 1, but the store computes each distinct
    content exactly once, so the totals — and therefore the whole result —
    are invariant under [jobs]. *)
-let roll_call t ?jobs ?(net_delay = Timebase.ms 40) mp_config =
+let roll_call t ?jobs ?journal ?(net_delay = Timebase.ms 40) mp_config =
   let roster = Array.of_list (List.rev t.roster) in
   let memo_hits_sum () =
     Array.fold_left
@@ -108,14 +108,37 @@ let roll_call t ?jobs ?(net_delay = Timebase.ms 40) mp_config =
   let memo_hits = memo_hits_sum () - memo_hits0 in
   let lookups = Ra_cache.Store.lookups t.store - lookups0 in
   let computed = Ra_cache.Store.computed t.store - computed0 in
-  {
-    clean = List.rev !clean;
-    tampered = List.rev !tampered;
-    digest_requests = memo_hits + lookups;
-    cache_hits = memo_hits;
-    store_hits = lookups - computed;
-    hashed = computed;
-    distinct_blocks = Ra_cache.Store.distinct_contents t.store;
-  }
+  let result =
+    {
+      clean = List.rev !clean;
+      tampered = List.rev !tampered;
+      digest_requests = memo_hits + lookups;
+      cache_hits = memo_hits;
+      store_hits = lookups - computed;
+      hashed = computed;
+      distinct_blocks = Ra_cache.Store.distinct_contents t.store;
+    }
+  in
+  (* Cache/store provenance: one committed record per roll call, after
+     the parallel fan-out has fully settled — the counters are
+     jobs-invariant, so the record is too. *)
+  (match journal with
+  | None -> ()
+  | Some j ->
+    let open Ra_journal in
+    Journal.append j
+      (Event.make "roll-call"
+         [
+           ("devices", Event.I (Array.length roster));
+           ("clean", Event.I (List.length result.clean));
+           ("tampered", Event.I (List.length result.tampered));
+           ("requests", Event.I result.digest_requests);
+           ("cache-hits", Event.I result.cache_hits);
+           ("store-hits", Event.I result.store_hits);
+           ("hashed", Event.I result.hashed);
+           ("distinct", Event.I result.distinct_blocks);
+         ]);
+    Journal.commit j);
+  result
 
 let attest_all t ?net_delay mp_config = roll_call t ~jobs:1 ?net_delay mp_config

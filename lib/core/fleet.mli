@@ -56,13 +56,20 @@ val hit_rate : roll_call -> float
 (** [(cache_hits + store_hits) / digest_requests]; 0 on an empty fleet. *)
 
 val roll_call :
-  t -> ?jobs:int -> ?net_delay:Timebase.t -> Mp.config -> roll_call
+  t ->
+  ?jobs:int ->
+  ?journal:Ra_journal.Journal.t ->
+  ?net_delay:Timebase.t ->
+  Mp.config ->
+  roll_call
 (** Run the full on-demand protocol against every enrolled device and
     partition the roster by verdict. Devices are independent simulations,
     so the roll call fans out over the {!Ra_parallel} domain pool; the
     result — verdicts and cache counters alike — is bit-identical for any
     [jobs] value, because the shared store computes each distinct content
-    exactly once regardless of arrival order. *)
+    exactly once regardless of arrival order. With [journal], a committed
+    "roll-call" provenance record (verdict partition sizes plus the cache
+    and store counters) is appended after the fan-out settles. *)
 
 val attest_all : t -> ?net_delay:Timebase.t -> Mp.config -> roll_call
 (** {!roll_call} with [jobs:1] (kept for callers that want the sequential

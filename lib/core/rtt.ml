@@ -93,3 +93,48 @@ let samples t = t.samples
 let backoffs t = t.backoffs
 
 let clamped t = t.clamped
+
+(* State save/restore for crash recovery. Only the mutable estimator
+   fields travel; the bounds are rebuilt by the owner's constructor and
+   must match. Floats are stored bit-exact so a restored estimator
+   produces the identical RTO stream. *)
+let save t =
+  let w = Ra_journal.Codec.writer () in
+  Ra_journal.Codec.i64raw w (Int64.bits_of_float t.srtt);
+  Ra_journal.Codec.i64raw w (Int64.bits_of_float t.rttvar);
+  Ra_journal.Codec.u8 w (if t.have_sample then 1 else 0);
+  Ra_journal.Codec.i64 w t.rto;
+  Ra_journal.Codec.i64 w t.samples;
+  Ra_journal.Codec.i64 w t.backoffs;
+  Ra_journal.Codec.i64 w t.clamped;
+  Ra_journal.Codec.u8 w (if t.gave_up then 1 else 0);
+  Ra_journal.Codec.contents w
+
+let restore t b =
+  match
+    let r = Ra_journal.Codec.reader b in
+    let srtt = Int64.float_of_bits (Ra_journal.Codec.read_i64raw r) in
+    let rttvar = Int64.float_of_bits (Ra_journal.Codec.read_i64raw r) in
+    let have_sample = Ra_journal.Codec.read_u8 r <> 0 in
+    let rto = Ra_journal.Codec.read_i64 r in
+    let samples = Ra_journal.Codec.read_i64 r in
+    let backoffs = Ra_journal.Codec.read_i64 r in
+    let clamped = Ra_journal.Codec.read_i64 r in
+    let gave_up = Ra_journal.Codec.read_u8 r <> 0 in
+    Ra_journal.Codec.expect_end r;
+    (srtt, rttvar, have_sample, rto, samples, backoffs, clamped, gave_up)
+  with
+  | srtt, rttvar, have_sample, rto, samples, backoffs, clamped, gave_up ->
+      if rto < t.min_rto || rto > t.max_rto then Error "Rtt.restore: RTO out of bounds"
+      else begin
+        t.srtt <- srtt;
+        t.rttvar <- rttvar;
+        t.have_sample <- have_sample;
+        t.rto <- rto;
+        t.samples <- samples;
+        t.backoffs <- backoffs;
+        t.clamped <- clamped;
+        t.gave_up <- gave_up;
+        Ok ()
+      end
+  | exception Ra_journal.Codec.Corrupt msg -> Error ("Rtt.restore: " ^ msg)

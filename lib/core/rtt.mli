@@ -51,3 +51,12 @@ val backoffs : t -> int
 val clamped : t -> int
 (** Zero/negative samples clamped instead of folded into the estimate —
     clock resets across a prover reboot, not real RTTs. *)
+
+val save : t -> Bytes.t
+(** Serialize the mutable estimator state (bounds excluded — they are
+    rebuilt by the owner). Floats are bit-exact, so restore + replay
+    yields the identical RTO stream. *)
+
+val restore : t -> Bytes.t -> (unit, string) result
+(** Overwrite the estimator state in place from a {!save} image built
+    with the same bounds. *)

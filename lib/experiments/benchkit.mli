@@ -31,8 +31,8 @@ val crypto_metrics : ?quick:bool -> unit -> metric list
 val sim_metrics : ?quick:bool -> ?jobs:int -> unit -> metric list
 (** Engine events/s plus wall-times of the Table 1, chaos, SMARM-game and
     detection-rate drivers ([jobs] is forwarded to the parallel ports),
-    followed by {!fleet_metrics}, {!supervisor_metrics} and
-    {!erasmus_metrics}. *)
+    followed by {!fleet_metrics}, {!supervisor_metrics},
+    {!erasmus_metrics} and {!journal_metrics}. *)
 
 val fleet_metrics : ?jobs:int -> unit -> metric list
 (** 1000-device shared-firmware roll call: wall time plus exact verdict
@@ -49,6 +49,14 @@ val erasmus_metrics : unit -> metric list
 (** ERASMUS, 10 self-measurement rounds with <1% of blocks written
     between rounds, with the digest cache off and on: wall times, the
     cached speedup, and exact hit/miss counts. *)
+
+val journal_metrics : unit -> metric list
+(** Write-ahead journal throughput over the in-memory disk: append+commit
+    records/s, replay (recover + verify every record) events/s, plus exact
+    recovered-record and torn-tail-detection counts — every run leaves a
+    torn half-record on the WAL tail so the truncating scan is always
+    exercised. Same size in quick and full mode so the exact metrics
+    reproduce everywhere. *)
 
 val to_json : suite -> string
 

@@ -93,7 +93,17 @@ let arm_crash_schedule device ~first_at ~period ~reboot_delay ~stop_after =
   in
   ignore (Engine.schedule_after eng ~delay:first_at tick)
 
-let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) () =
+(* faults are armed for t >= 30 s, so a quiet first round must not count
+   as convergence: supervise at least past the infection instant *)
+let min_rounds = 4
+
+(* --- world building ----------------------------------------------------- *)
+
+(* Everything the campaign depends on, before any supervision round: the
+   fleet, the supervisor (optionally journaled) and the armed fault
+   schedules. Deterministic in (devices, seed, max_rounds), which is why a
+   journal only needs to record those three numbers to rebuild the world. *)
+let build ~devices ~seed ~max_rounds ~journal () =
   let master =
     Ra_crypto.Sha256.digest
       (Bytes.of_string (Printf.sprintf "fleet-chaos master secret %d" seed))
@@ -106,7 +116,7 @@ let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) () =
         id)
   in
   let kinds = List.mapi (fun i id -> (id, kind_of_index i)) ids in
-  let sup = Supervisor.create fleet in
+  let sup = Supervisor.create ?journal fleet in
   let horizon = Timebase.s (30 * (max_rounds + 2)) in
   let delay = Timebase.ms 40 in
   List.iteri
@@ -134,9 +144,42 @@ let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) () =
         arm_crash_schedule device ~first_at:(Timebase.s 30) ~period:(Timebase.s 5)
           ~reboot_delay:(Timebase.ms 250) ~stop_after:(Timebase.s 90))
     ids;
-  (* faults are armed for t >= 30 s, so a quiet first round must not count
-     as convergence: supervise at least past the infection instant *)
-  let report = Supervisor.run ~jobs ~min_rounds:4 ~max_rounds sup in
+  (sup, kinds)
+
+(* --- campaign framing in the journal ------------------------------------ *)
+
+module J = Ra_journal.Journal
+module Ev = Ra_journal.Event
+module Dsk = Ra_journal.Disk
+
+let campaign_event ~devices ~seed ~max_rounds =
+  Ev.make "campaign"
+    [
+      ("experiment", Ev.S "fleet-chaos");
+      ("devices", Ev.I devices);
+      ("seed", Ev.I seed);
+      ("max-rounds", Ev.I max_rounds);
+    ]
+
+let campaign_end_event report =
+  Ev.make "campaign-end" [ ("digest", Ev.S report.Supervisor.counter_digest) ]
+
+let parse_campaign events =
+  if Array.length events = 0 then Error "journal is empty"
+  else begin
+    let e = events.(0) in
+    if e.Ev.tag <> "campaign" then
+      Error "journal does not start with a campaign record"
+    else if Ev.find_s e "experiment" <> Some "fleet-chaos" then
+      Error "journal records a different experiment"
+    else
+      match (Ev.find_i e "devices", Ev.find_i e "seed", Ev.find_i e "max-rounds") with
+      | Some devices, Some seed, Some max_rounds when devices > 0 ->
+        Ok (devices, seed, max_rounds)
+      | _ -> Error "malformed campaign record"
+  end
+
+let validate sup kinds report ~max_rounds =
   (* --- convergence invariants ------------------------------------------- *)
   let violations = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
@@ -193,7 +236,150 @@ let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) () =
               (Health.state_to_string tr.Health.to_))
         (Health.history (Supervisor.machine sup id)))
     kinds;
-  { devices; seed; jobs; report; kinds; violations = List.rev !violations }
+  List.rev !violations
+
+let finish ~devices ~seed ~jobs ~max_rounds sup kinds report =
+  {
+    devices;
+    seed;
+    jobs;
+    report;
+    kinds;
+    violations = validate sup kinds report ~max_rounds;
+  }
+
+let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) ?journal () =
+  (match journal with
+  | Some j ->
+    J.append j (campaign_event ~devices ~seed ~max_rounds);
+    J.commit j
+  | None -> ());
+  let sup, kinds = build ~devices ~seed ~max_rounds ~journal () in
+  let report = Supervisor.run ~jobs ~min_rounds ~max_rounds sup in
+  (match journal with
+  | Some j ->
+    J.append j (campaign_end_event report);
+    J.commit j
+  | None -> ());
+  finish ~devices ~seed ~jobs ~max_rounds sup kinds report
+
+(* --- crash / resume / replay -------------------------------------------- *)
+
+let record_killed ~disk ?(snapshot_every = 3) ?(devices = 200) ?(seed = 7)
+    ?(jobs = 1) ?(max_rounds = 20) ~kill_at_round () =
+  let j = J.create ~snapshot_every disk in
+  J.append j (campaign_event ~devices ~seed ~max_rounds);
+  J.commit j;
+  let sup, _ = build ~devices ~seed ~max_rounds ~journal:(Some j) () in
+  let rec loop () =
+    if Supervisor.rounds_run sup >= kill_at_round then true
+    else if
+      (Supervisor.converged sup && Supervisor.rounds_run sup >= min_rounds)
+      || Supervisor.rounds_run sup >= max_rounds
+    then false
+    else begin
+      Supervisor.round ~jobs sup;
+      loop ()
+    end
+  in
+  let killed = loop () in
+  if killed then
+    (* the power goes out mid-append: leave a torn half-record on the WAL
+       tail, exactly what recovery must detect and truncate *)
+    disk.Dsk.append J.wal_file (Bytes.of_string "RJ\x00\x00\x00\x2a\x00")
+  else begin
+    (* the campaign converged before round K; complete the journal *)
+    J.append j (campaign_end_event (Supervisor.report sup));
+    J.commit j
+  end;
+  killed
+
+let ( let* ) = Result.bind
+
+(* Re-execute the journaled prefix in verify mode (each re-emitted record
+   byte-compared against the recording), independently reconstruct the
+   state from snapshot + deltas, and demand both roads end at the same
+   bytes before continuing the campaign. *)
+let resume ~disk ?(jobs = 1) () =
+  let* r = J.recover disk in
+  let events = r.J.events in
+  let* devices, seed, max_rounds = parse_campaign events in
+  let rounds_done, keep = Supervisor.Recovery.completed_rounds events in
+  if rounds_done = 0 then
+    Error "no completed round in the journal; nothing to resume"
+  else begin
+    let prefix = Array.sub events 0 keep in
+    let vj = J.verifier prefix in
+    J.append vj (campaign_event ~devices ~seed ~max_rounds);
+    let sup, kinds = build ~devices ~seed ~max_rounds ~journal:(Some vj) () in
+    let base0 = Supervisor.serialize sup in
+    for _ = 1 to rounds_done do
+      Supervisor.round ~jobs sup
+    done;
+    let* () =
+      Result.map_error
+        (fun e -> "replay of the journaled prefix diverged: " ^ e)
+        (J.verified vj)
+    in
+    let base, after =
+      match r.J.snapshot with
+      | Some (_, covered, state) when covered <= keep -> (state, covered)
+      | _ -> (base0, 0)
+    in
+    let* recovered = Supervisor.Recovery.reconstruct ~base ~after prefix in
+    let* () =
+      if Bytes.equal recovered (Supervisor.serialize sup) then Ok ()
+      else
+        Error
+          "recovered state (snapshot + deltas) does not match the re-executed \
+           supervisor"
+    in
+    let* () = Supervisor.load sup recovered in
+    let rj = J.resume disk r ~keep in
+    Supervisor.attach_journal sup rj;
+    let report = Supervisor.run ~jobs ~min_rounds ~max_rounds sup in
+    J.append rj (campaign_end_event report);
+    J.commit rj;
+    Ok (finish ~devices ~seed ~jobs ~max_rounds sup kinds report)
+  end
+
+let replay ~disk ?(jobs = 1) () =
+  let* r = J.recover disk in
+  let events = r.J.events in
+  let* devices, seed, max_rounds = parse_campaign events in
+  let* () =
+    if
+      Array.length events > 0
+      && (events.(Array.length events - 1)).Ev.tag = "campaign-end"
+    then Ok ()
+    else
+      Error
+        "journal records an interrupted campaign (no campaign-end); resume it \
+         first: ratool fleet-chaos --resume"
+  in
+  let rounds_done, keep = Supervisor.Recovery.completed_rounds events in
+  let vj = J.verifier events in
+  J.append vj (campaign_event ~devices ~seed ~max_rounds);
+  let sup, kinds = build ~devices ~seed ~max_rounds ~journal:(Some vj) () in
+  let base0 = Supervisor.serialize sup in
+  for _ = 1 to rounds_done do
+    Supervisor.round ~jobs sup
+  done;
+  let report = Supervisor.report sup in
+  J.append vj (campaign_end_event report);
+  let* () = Result.map_error (fun e -> "replay diverged: " ^ e) (J.verified vj) in
+  (* cross-check the snapshot/delta road against the executed state *)
+  let base, after =
+    match r.J.snapshot with
+    | Some (_, covered, state) when covered <= keep -> (state, covered)
+    | _ -> (base0, 0)
+  in
+  let* recovered = Supervisor.Recovery.reconstruct ~base ~after events in
+  let* () =
+    if Bytes.equal recovered (Supervisor.serialize sup) then Ok ()
+    else Error "recovered state (snapshot + deltas) does not match the replay"
+  in
+  Ok (finish ~devices ~seed ~jobs ~max_rounds sup kinds report)
 
 let render r =
   let b = Buffer.create 2048 in

@@ -48,8 +48,59 @@ type result = {
 }
 
 val run :
-  ?devices:int -> ?seed:int -> ?jobs:int -> ?max_rounds:int -> unit -> result
-(** Defaults: 200 devices, seed 7, jobs 1, 20 rounds. *)
+  ?devices:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?max_rounds:int ->
+  ?journal:Ra_journal.Journal.t ->
+  unit ->
+  result
+(** Defaults: 200 devices, seed 7, jobs 1, 20 rounds. With [journal], the
+    campaign is recorded: a "campaign" header (the three numbers that
+    rebuild the world deterministically), every supervisor record (see
+    {!Ra_supervisor.Supervisor.create}), and a "campaign-end" carrying
+    the counter digest. *)
+
+(** {1 Crash / resume / replay}
+
+    The campaign world is a pure function of [(devices, seed,
+    max_rounds)], so a journal is a complete crash artifact: anyone can
+    rebuild the world, re-execute the recorded prefix and compare every
+    record. *)
+
+val record_killed :
+  disk:Ra_journal.Disk.t ->
+  ?snapshot_every:int ->
+  ?devices:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?max_rounds:int ->
+  kill_at_round:int ->
+  unit ->
+  bool
+(** Record a campaign into a fresh journal but kill the verifier after
+    [kill_at_round] completed rounds, leaving a torn half-record on the
+    WAL tail (the crash instant). Returns [true] if the kill happened;
+    [false] means the campaign converged first and the journal is
+    complete. *)
+
+val resume :
+  disk:Ra_journal.Disk.t -> ?jobs:int -> unit -> (result, string) Stdlib.result
+(** Recover a killed campaign and finish it: re-execute the journaled
+    prefix under a verify-mode journal (every re-emitted record is
+    byte-compared against the recording), independently reconstruct the
+    supervisor state from snapshot + deltas, require both to be
+    [Bytes.equal], load it, truncate the WAL to the last committed round
+    boundary and supervise to convergence while extending the same
+    journal. The result's digest is bit-identical to an unkilled run of
+    the same campaign, for any [jobs]. *)
+
+val replay :
+  disk:Ra_journal.Disk.t -> ?jobs:int -> unit -> (result, string) Stdlib.result
+(** Re-run a complete recorded campaign bit-identically: every record,
+    including the final digest, is verified against the journal, and the
+    snapshot/delta reconstruction is cross-checked against the executed
+    state. [Error] on any divergence. *)
 
 val render : result -> string
 (** Multi-line human-readable summary (convergence, terminal states,

@@ -1,0 +1,58 @@
+exception Corrupt of string
+
+let fail msg = raise (Corrupt msg)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+let contents w = Buffer.to_bytes w
+
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+let i64raw w v =
+  let b = Bytes.create 8 in
+  Ra_crypto.Bytesutil.store64_be b 0 v;
+  Buffer.add_bytes w b
+
+let i64 w v = i64raw w (Int64.of_int v)
+
+let bytes w b =
+  i64 w (Bytes.length b);
+  Buffer.add_bytes w b
+
+let str w s = bytes w (Bytes.of_string s)
+
+type reader = { src : Bytes.t; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+
+let need r n =
+  if n < 0 || r.pos + n > Bytes.length r.src then fail "truncated encoding"
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.src r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_i64raw r =
+  need r 8;
+  let v = Ra_crypto.Bytesutil.load64_be r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_i64 r = Int64.to_int (read_i64raw r)
+
+let read_bytes r =
+  let n = read_i64 r in
+  need r n;
+  let b = Bytes.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let read_str r = Bytes.to_string (read_bytes r)
+
+let at_end r = r.pos = Bytes.length r.src
+
+let expect_end r = if not (at_end r) then fail "trailing bytes after encoding"

@@ -1,0 +1,25 @@
+(** Record framing for the write-ahead log.
+
+    Each record is ["RJ"] (2 bytes) + sequence number (u32 BE) + payload
+    length (u32 BE) + payload + CRC-32 (u32 BE, over everything before
+    it) — the same [Crc32] frame-check discipline as the network
+    {!Ra_core.Frame}. The scan accepts the longest prefix of records
+    whose CRCs check out {e and} whose sequence numbers are contiguous:
+    a torn tail fails the CRC, a duplicated tail (re-appended bytes after
+    a crash) repeats a sequence number. Everything after the first damage
+    is discarded — by the WAL rule, nothing after an unsynced record was
+    ever acknowledged. *)
+
+val encode : seq:int -> Bytes.t -> Bytes.t
+
+type scan = {
+  records : Bytes.t list;  (** accepted payloads, in order *)
+  offsets : int array;
+      (** [offsets.(i)] is the byte offset just after record [i] — the
+          truncation point that keeps records [0..i] *)
+  good_bytes : int;  (** offset after the last accepted record *)
+  damage : string option;
+      (** why the scan stopped early, [None] for a clean log *)
+}
+
+val scan : ?first_seq:int -> Bytes.t -> scan

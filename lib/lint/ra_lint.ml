@@ -8,7 +8,8 @@
 
    Rule families (see DESIGN.md §10):
      D determinism     D1 global-PRNG Random, D2 wall-clock time,
-                       D3 Hashtbl iteration order escaping unsorted
+                       D3 Hashtbl iteration order escaping unsorted,
+                       D4 self-seeding (Random.self_init and friends)
      P parallel-safety P1 Domain/Mutex/Atomic outside lib/parallel + lib/cache,
                        P2 module-level mutable state reachable from tasks
      U unsafe audit    U1 unsafe_* site without a (* bounds: ... *) comment,
@@ -117,6 +118,18 @@ let ident_path e =
 let check_ident ctx path loc =
   let token = String.concat "." path in
   match path with
+  (* D4 before D1: Random.self_init is also a Random.* use, but the
+     self-seeding diagnosis is the actionable one (and it catches
+     Random.State.make_self_init, which D1's two-component match misses) *)
+  | _ when (match List.rev path with
+           | ("self_init" | "make_self_init") :: _ -> true
+           | _ -> false) ->
+    raise_raw ctx "D4" loc token
+      (Printf.sprintf
+         "self-seeded PRNG %s: an ambient (time/device-entropy) seed makes \
+          the run unreproducible and the journal unreplayable; every stream \
+          must derive from an explicit recorded seed"
+         token)
   | [ "Random"; _ ] ->
     raise_raw ctx "D1" loc token
       (Printf.sprintf

@@ -89,3 +89,20 @@ let bytes g n =
     Bytes.unsafe_set b i (Char.unsafe_chr (int g ~bound:256))
   done;
   b
+
+let state_bytes = 32
+
+let to_bytes g =
+  let b = Bytes.create state_bytes in
+  Bytes.set_int64_be b 0 g.s0;
+  Bytes.set_int64_be b 8 g.s1;
+  Bytes.set_int64_be b 16 g.s2;
+  Bytes.set_int64_be b 24 g.s3;
+  b
+
+let set_bytes g b =
+  if Bytes.length b <> state_bytes then invalid_arg "Prng.set_bytes: need 32 bytes";
+  g.s0 <- Bytes.get_int64_be b 0;
+  g.s1 <- Bytes.get_int64_be b 8;
+  g.s2 <- Bytes.get_int64_be b 16;
+  g.s3 <- Bytes.get_int64_be b 24

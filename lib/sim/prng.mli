@@ -45,3 +45,15 @@ val permutation : t -> int -> int array
 
 val bytes : t -> int -> Bytes.t
 (** [bytes g n] is [n] uniformly random bytes. *)
+
+val state_bytes : int
+(** Size of the serialized state: 32 bytes. *)
+
+val to_bytes : t -> Bytes.t
+(** The full generator state, big-endian. With {!set_bytes} this lets a
+    recovered supervisor resume a stream exactly where a crashed one
+    left off. *)
+
+val set_bytes : t -> Bytes.t -> unit
+(** Overwrite the state in place from a {!to_bytes} image. Raises
+    [Invalid_argument] on a wrong-sized buffer. *)

@@ -96,3 +96,57 @@ let consecutive_failures t = t.failures
 let opens t = t.open_count
 
 let probes t = t.probe_count
+
+let phase_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+(* Save/restore for crash recovery: the mutable counters plus the full
+   PRNG state, so a restored breaker draws the same jitter stream the
+   crashed one would have. The config is rebuilt by the owner. *)
+let save t =
+  let module C = Ra_journal.Codec in
+  let w = C.writer () in
+  C.u8 w (match t.phase with Closed -> 0 | Open -> 1 | Half_open -> 2);
+  C.i64 w t.deadline;
+  C.i64 w t.failures;
+  C.i64 w t.probe_count;
+  C.i64 w t.open_count;
+  C.bytes w (Prng.to_bytes t.rng);
+  C.contents w
+
+let restore t b =
+  let module C = Ra_journal.Codec in
+  match
+    let r = C.reader b in
+    let phase =
+      match C.read_u8 r with
+      | 0 -> Closed
+      | 1 -> Open
+      | 2 -> Half_open
+      | p -> C.fail (Printf.sprintf "unknown breaker phase %d" p)
+    in
+    let deadline = C.read_i64 r in
+    let failures = C.read_i64 r in
+    let probe_count = C.read_i64 r in
+    let open_count = C.read_i64 r in
+    let rng = C.read_bytes r in
+    C.expect_end r;
+    (phase, deadline, failures, probe_count, open_count, rng)
+  with
+  | phase, deadline, failures, probe_count, open_count, rng ->
+      if failures < 0 || probe_count < 0 || open_count < 0 then
+        Error "Breaker.restore: negative counter"
+      else begin
+        match Prng.set_bytes t.rng rng with
+        | () ->
+            t.phase <- phase;
+            t.deadline <- deadline;
+            t.failures <- failures;
+            t.probe_count <- probe_count;
+            t.open_count <- open_count;
+            Ok ()
+        | exception Invalid_argument msg -> Error ("Breaker.restore: " ^ msg)
+      end
+  | exception Ra_journal.Codec.Corrupt msg -> Error ("Breaker.restore: " ^ msg)

@@ -75,3 +75,14 @@ val opens : t -> int
 
 val probes : t -> int
 (** Half-open probes attempted so far in the current outage. *)
+
+val phase_to_string : phase -> string
+
+val save : t -> Bytes.t
+(** Serialize phase, deadline, counters and the full jitter-PRNG state;
+    the config is rebuilt by the owner. A restored breaker draws the
+    same cooldown jitter the crashed one would have — a replay
+    requirement, not a nicety. *)
+
+val restore : t -> Bytes.t -> (unit, string) result
+(** Overwrite the breaker state in place from a {!save} image. *)

@@ -117,3 +117,39 @@ let entered_compromised_at t =
   List.find_map
     (fun tr -> if tr.to_ = Compromised then Some tr.round else None)
     (List.rev t.log)
+
+(* Crash recovery: rebuild a machine from a recorded history, accepting
+   only transitions the edges relation declares. This is the gate that
+   makes "recovery never yields an illegal Health edge" structural — a
+   corrupted or hand-edited journal fails here instead of producing a
+   machine that could never have existed. *)
+let restore t hist =
+  let fresh = create () in
+  let rec feed prev = function
+    | [] -> Ok ()
+    | tr :: rest ->
+        if tr.from_ <> prev then
+          Error
+            (Printf.sprintf "health history break: %s -> %s"
+               (state_to_string prev)
+               (state_to_string tr.from_))
+        else begin
+          match legal tr.from_ tr.cause with
+          | Some to_ when to_ = tr.to_ ->
+              ignore (apply fresh ~round:tr.round tr.cause);
+              feed to_ rest
+          | _ ->
+              Error
+                (Printf.sprintf "illegal health edge: %s --%s--> %s"
+                   (state_to_string tr.from_)
+                   (cause_to_string tr.cause)
+                   (state_to_string tr.to_))
+        end
+  in
+  match feed Healthy hist with
+  | Error _ as e -> e
+  | Ok () ->
+      t.current <- fresh.current;
+      t.log <- fresh.log;
+      t.count <- fresh.count;
+      Ok ()

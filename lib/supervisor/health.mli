@@ -92,3 +92,9 @@ val quarantine_reason : t -> cause option
 val entered_compromised_at : t -> int option
 (** Round of the first transition into [Compromised] — the detection
     instant the QoA bound is checked against. *)
+
+val restore : t -> transition list -> (unit, string) result
+(** Overwrite the machine from a recorded history (oldest first),
+    validating every step against {!edges} from [Healthy]. An illegal or
+    discontinuous history is rejected and the machine is left untouched
+    — recovery can never materialize an undeclared transition. *)

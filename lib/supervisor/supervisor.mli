@@ -58,9 +58,28 @@ type outcome = Clean | Tampered | Timeout
 
 type t
 
-val create : ?config:config -> Ra_core.Fleet.t -> t
+val create : ?config:config -> ?journal:Ra_journal.Journal.t -> Ra_core.Fleet.t -> t
 (** Supervise every device currently enrolled in the fleet (all start
-    [Healthy]). Devices provisioned later are not picked up. *)
+    [Healthy]). Devices provisioned later are not picked up.
+
+    With [journal], every state change is journaled {e before} it is
+    applied: health edges, breaker transitions, attestation outcomes,
+    detections and remediation pushes as they happen (sequential plan and
+    apply phases, roster order — never from the parallel execute phase,
+    so the record stream is bit-identical for any [jobs] value); at each
+    round boundary, per-device state deltas and a "round-end" record with
+    the globals, the state digest and the shared digest-store counters,
+    followed by a commit ([fsync]) — the round is the acknowledgement
+    unit. The journal may also be a {!Ra_journal.Journal.verifier}, in
+    which case the same emission path {e checks} a recorded campaign
+    instead of writing one. *)
+
+val attach_journal : t -> Ra_journal.Journal.t -> unit
+(** Switch journals mid-life (used by crash recovery to go from a verify
+    journal over the recorded prefix to a resumed recording journal).
+    Re-baselines delta tracking at the attach point. *)
+
+val converged : t -> bool
 
 val set_channel : t -> Ra_core.Fleet.device_id -> Channel.config -> unit
 (** Override the verifier-prover channel for one device (loss, corruption,
@@ -117,3 +136,42 @@ val run : ?jobs:int -> ?min_rounds:int -> ?max_rounds:int -> t -> report
 
 val report : t -> report
 (** The report for the rounds run so far. *)
+
+(** {1 Durable state}
+
+    The supervisor's complete mutable state — health machines with full
+    histories, breaker phases and jitter-PRNG streams, RTT estimators
+    bit-exact, per-device scalars and the global counters — serializes to
+    a deterministic byte image. Two supervisors over the same fleet are
+    behaviourally identical iff their images are [Bytes.equal]; that is
+    the property crash recovery leans on. *)
+
+val serialize : t -> Bytes.t
+
+val load : t -> Bytes.t -> (unit, string) result
+(** Overwrite this supervisor's state from a {!serialize} image taken
+    over the same roster. Every recovered health history is re-validated
+    against {!Health.edges} — a corrupted image is rejected, never
+    half-applied into an illegal machine. *)
+
+val state_digest : t -> string
+(** CRC-32 of {!serialize}, rendered as 8 hex digits. *)
+
+(** Rebuilding state from a recovered journal without re-executing it. *)
+module Recovery : sig
+  val completed_rounds : Ra_journal.Event.t array -> int * int
+  (** [(rounds, keep)]: the number of completed rounds in the event
+      stream and the event count up to (including) the last "round-end"
+      record — the consistency point a resume truncates to. Records past
+      it belong to a round whose commit never happened. *)
+
+  val reconstruct :
+    base:Bytes.t ->
+    after:int ->
+    Ra_journal.Event.t array ->
+    (Bytes.t, string) result
+  (** Overlay the "dstate" and "round-end" records following event index
+      [after] onto the [base] state image (a snapshot, or the round-0
+      serialization) and return the resulting image. Pure data — no
+      simulation is executed; feed the result to {!load}. *)
+end

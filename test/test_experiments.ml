@@ -386,6 +386,76 @@ let test_tablefmt () =
     check Alcotest.bool "first x is 10" true (String.length first_row >= 2 && String.sub first_row 0 2 = "10")
   | _ -> Alcotest.fail "unexpected shape")
 
+(* --- Benchkit JSON string round trips ----------------------------------------------- *)
+(* Journal and campaign metadata flow through escape_string/parse_json; the
+   string layer must survive control characters, backslash soup and raw
+   multi-byte UTF-8 byte-for-byte. *)
+
+let json_string_roundtrip s =
+  match Benchkit.parse_json ("\"" ^ Benchkit.escape_string s ^ "\"") with
+  | Benchkit.J_string s' -> s'
+  | _ -> Alcotest.fail "escaped string did not parse back as a string"
+
+let test_json_string_escapes () =
+  let rt label s =
+    check Alcotest.string label s (json_string_roundtrip s)
+  in
+  (* every control character, one by one and all together *)
+  for c = 0 to 0x1f do
+    rt (Printf.sprintf "control 0x%02x" c) (String.make 1 (Char.chr c))
+  done;
+  rt "all controls" (String.init 0x20 Char.chr);
+  (* backslashes and quotes, including already-escaped-looking text *)
+  rt "backslash" {|a\b|};
+  rt "double backslash" {|a\\b|};
+  rt "quote" {|say "hi"|};
+  rt "escape-lookalike" {|\n\tA\\"|};
+  rt "trailing backslash" "tail\\";
+  (* multi-byte UTF-8 passes through raw: 2-, 3- and 4-byte sequences *)
+  rt "latin-1 accent" "caf\xc3\xa9";
+  rt "cjk" "\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e";
+  rt "emoji" "\xf0\x9f\x94\xa5";
+  rt "mixed" "wal\x00\\\"\n\xc3\xa9\xf0\x9f\x94\xa5 end";
+  (* the emitter's own output for such a name parses back as a suite *)
+  let suite =
+    {
+      Benchkit.suite = "journal \"kill\"\n\xe6\x97\xa5";
+      metrics =
+        [
+          {
+            Benchkit.name = "replay\\events\x01s";
+            value = 42.;
+            unit_ = "ev/s \xc3\xa9";
+            direction = Benchkit.Higher_is_better;
+            exact = true;
+          };
+        ];
+    }
+  in
+  match Benchkit.parse_json (Benchkit.to_json suite) with
+  | Benchkit.J_object fields ->
+    (match List.assoc_opt "suite" fields with
+    | Some (Benchkit.J_string s) ->
+      check Alcotest.string "suite name round trips" suite.Benchkit.suite s
+    | _ -> Alcotest.fail "no suite field");
+    (match List.assoc_opt "metrics" fields with
+    | Some (Benchkit.J_array [ Benchkit.J_object m ]) -> (
+      match (List.assoc_opt "name" m, List.assoc_opt "unit" m) with
+      | Some (Benchkit.J_string n), Some (Benchkit.J_string u) ->
+        check Alcotest.string "metric name round trips" "replay\\events\x01s" n;
+        check Alcotest.string "metric unit round trips" "ev/s \xc3\xa9" u
+      | _ -> Alcotest.fail "metric fields missing")
+    | _ -> Alcotest.fail "no metrics array")
+  | _ -> Alcotest.fail "suite JSON did not parse as an object"
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~count:500
+    ~name:"parse_json (escape_string s) is the identity on any byte string"
+    (QCheck.make
+       ~print:(fun s -> Benchkit.escape_string s)
+       QCheck.Gen.(string_size ~gen:char (int_bound 40)))
+    (fun s -> String.equal s (json_string_roundtrip s))
+
 let () =
   Alcotest.run "ra_experiments"
     [
@@ -443,4 +513,9 @@ let () =
           Alcotest.test_case "monotone in rate" `Quick test_dos_monotone_in_rate;
         ] );
       ("tablefmt", [ Alcotest.test_case "render" `Quick test_tablefmt ]);
+      ( "benchkit json",
+        [
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          QCheck_alcotest.to_alcotest json_roundtrip_prop;
+        ] );
     ]

@@ -21,8 +21,12 @@ let rules_testable = Alcotest.(list string)
 let d_positive () =
   check rules_testable "global Random fires D1" [ "D1" ]
     (rules (lint "let roll () = Random.int 6\n"));
-  check rules_testable "self_init fires D1" [ "D1" ]
+  check rules_testable "self_init fires D4" [ "D4" ]
     (rules (lint "let () = Random.self_init ()\n"));
+  check rules_testable "Random.State.make_self_init fires D4" [ "D4" ]
+    (rules (lint "let st = Random.State.make_self_init ()\n"));
+  check rules_testable "self_init through an alias fires D4" [ "D4" ]
+    (rules (lint "let st = R.State.make_self_init ()\n"));
   check rules_testable "gettimeofday fires D2" [ "D2" ]
     (rules (lint "let now () = Unix.gettimeofday ()\n"));
   check rules_testable "Sys.time fires D2" [ "D2" ]
@@ -35,6 +39,8 @@ let d_positive () =
 let d_negative () =
   check rules_testable "Random.State is deterministic-by-seed" []
     (rules (lint "let roll st = Random.State.int st 6\n"));
+  check rules_testable "explicitly seeded Random.State.make is clean" []
+    (rules (lint "let st seed = Random.State.make [| seed |]\n"));
   check rules_testable "wall clock is allowed in benchkit" []
     (rules
        (lint ~file:"lib/experiments/benchkit.ml" "let t0 = Unix.gettimeofday ()\n"));
