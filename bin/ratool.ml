@@ -488,9 +488,9 @@ let run_fleet_scale ~seed ~devices =
     | id :: _ -> Printf.sprintf ", first: %s" id);
   Printf.printf
     "digest cache: %d requests, %d memo hits, %d store hits, %d hashed \
-     (%d distinct blocks) — hit rate %.2f%%\n"
+     (%d batched, %d distinct blocks) — hit rate %.2f%%\n"
     roll.Fleet.digest_requests roll.Fleet.cache_hits roll.Fleet.store_hits
-    roll.Fleet.hashed roll.Fleet.distinct_blocks
+    roll.Fleet.hashed roll.Fleet.batch_hashed roll.Fleet.distinct_blocks
     (100. *. Fleet.hit_rate roll);
   let acct =
     Ra_device.Cost_model.cache_accounting config.Ra_device.Device.cost

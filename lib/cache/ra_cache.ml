@@ -27,10 +27,17 @@ module Store = struct
     mutex : Mutex.t;
     mutable lookups : int;
     mutable computed : int;
+    mutable batched_computes : int;
   }
 
   let create () =
-    { table = Hashtbl.create 256; mutex = Mutex.create (); lookups = 0; computed = 0 }
+    {
+      table = Hashtbl.create 256;
+      mutex = Mutex.create ();
+      lookups = 0;
+      computed = 0;
+      batched_computes = 0;
+    }
 
   (* [content] is borrowed: probed with a zero-copy string view, copied
      into the table only the first time it is seen. The returned digest is
@@ -55,6 +62,60 @@ module Store = struct
     Mutex.unlock t.mutex;
     result
 
+  (* Batch lookup: the whole batch is partitioned into hits and misses
+     under ONE lock acquisition, and all misses are computed together by
+     the interleaved kernel (Algo.digest_many) — still inside the
+     critical section, so the compute-once discipline and every counter
+     stay bit-identical to replaying the same contents through single
+     [digest] calls, for any job count. An in-batch duplicate behaves
+     exactly like that sequential replay: its first occurrence computes,
+     later ones observe hits.
+     bounds: unsafe_to_string is an ownership cast, not an access — the
+     zero-copy views live only inside the lock, keying a scratch
+     first-occurrence table that is dropped before unlock; the permanent
+     table still receives a Bytes.to_string copy.
+     cross-check: test/test_cache.ml qcheck-diffs digest_many results and
+     all counters against a sequential replay through Store.digest. *)
+  let digest_many t algo contents =
+    let n = Array.length contents in
+    let results = Array.make n (false, Bytes.empty) in
+    if n > 0 then begin
+      Mutex.lock t.mutex;
+      t.lookups <- t.lookups + n;
+      let tag = algo_tag algo in
+      let pending = Hashtbl.create 8 in
+      let dup_of = Array.make n (-1) in
+      let miss_rev = ref [] in
+      for i = 0 to n - 1 do
+        let key = (tag, Bytes.unsafe_to_string contents.(i)) in
+        match Hashtbl.find_opt t.table key with
+        | Some d -> results.(i) <- (true, d)
+        | None -> (
+          match Hashtbl.find_opt pending key with
+          | Some first -> dup_of.(i) <- first
+          | None ->
+            Hashtbl.add pending key i;
+            miss_rev := i :: !miss_rev)
+      done;
+      let miss = Array.of_list (List.rev !miss_rev) in
+      let fresh =
+        Algo.digest_many algo (Array.map (fun i -> contents.(i)) miss)
+      in
+      t.computed <- t.computed + Array.length miss;
+      t.batched_computes <- t.batched_computes + Array.length miss;
+      Array.iteri
+        (fun k i ->
+          let d = fresh.(k) in
+          Hashtbl.replace t.table (tag, Bytes.to_string contents.(i)) d;
+          results.(i) <- (false, d))
+        miss;
+      for i = 0 to n - 1 do
+        if dup_of.(i) >= 0 then results.(i) <- (true, snd results.(dup_of.(i)))
+      done;
+      Mutex.unlock t.mutex
+    end;
+    results
+
   let lookups t =
     Mutex.lock t.mutex;
     let n = t.lookups in
@@ -64,6 +125,12 @@ module Store = struct
   let computed t =
     Mutex.lock t.mutex;
     let n = t.computed in
+    Mutex.unlock t.mutex;
+    n
+
+  let batched_computes t =
+    Mutex.lock t.mutex;
+    let n = t.batched_computes in
     Mutex.unlock t.mutex;
     n
 
@@ -116,5 +183,47 @@ let block_digest t algo ~block ~version content =
     in
     Hashtbl.replace t.memo key (version, d);
     d
+
+(* Batch counterpart of [block_digest] for the distinct blocks of one
+   measurement round: all memo probes first, then a single
+   Store.digest_many over the misses. Because the blocks are distinct the
+   memo probes are independent of each other, so every counter (memo
+   hits, store hits, misses, and all store counters) lands exactly as if
+   [block_digest] had been called once per block in order. *)
+let block_digest_many t algo ~blocks ~versions contents =
+  let n = Array.length blocks in
+  if Array.length versions <> n || Array.length contents <> n then
+    invalid_arg "Ra_cache.block_digest_many: length mismatch";
+  let out = Array.make n Bytes.empty in
+  let tag = algo_tag algo in
+  let miss_rev = ref [] in
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt t.memo (tag, blocks.(i)) with
+    | Some (v, d) when v = versions.(i) ->
+      t.stats.hits <- t.stats.hits + 1;
+      out.(i) <- d
+    | _ -> miss_rev := i :: !miss_rev
+  done;
+  let miss = Array.of_list (List.rev !miss_rev) in
+  (match t.store with
+  | Some s ->
+    let res = Store.digest_many s algo (Array.map (fun i -> contents.(i)) miss) in
+    Array.iteri
+      (fun k i ->
+        let hit, d = res.(k) in
+        if hit then t.stats.store_hits <- t.stats.store_hits + 1
+        else t.stats.misses <- t.stats.misses + 1;
+        Hashtbl.replace t.memo (tag, blocks.(i)) (versions.(i), d);
+        out.(i) <- d)
+      miss
+  | None ->
+    let ds = Algo.digest_many algo (Array.map (fun i -> contents.(i)) miss) in
+    Array.iteri
+      (fun k i ->
+        t.stats.misses <- t.stats.misses + 1;
+        Hashtbl.replace t.memo (tag, blocks.(i)) (versions.(i), ds.(k));
+        out.(i) <- ds.(k))
+      miss);
+  out
 
 let requests stats = stats.hits + stats.store_hits + stats.misses

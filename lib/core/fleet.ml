@@ -58,6 +58,11 @@ type roll_call = {
   cache_hits : int;
   store_hits : int;
   hashed : int;
+  batch_hashed : int;
+      (* of [hashed], how many went through the store's batch entry point;
+         equals [hashed] when every party measures atomically (both the
+         prover's round and the verifier's report check batch their
+         digests), making it as jobs-invariant as the rest. *)
   distinct_blocks : int;
 }
 
@@ -86,6 +91,7 @@ let roll_call t ?jobs ?journal ?(net_delay = Timebase.ms 40) mp_config =
   let memo_hits0 = memo_hits_sum () in
   let lookups0 = Ra_cache.Store.lookups t.store in
   let computed0 = Ra_cache.Store.computed t.store in
+  let batched0 = Ra_cache.Store.batched_computes t.store in
   let verdicts =
     Ra_parallel.parallel_init ?jobs (Array.length roster) (fun i ->
         let id, dev = roster.(i) in
@@ -116,6 +122,7 @@ let roll_call t ?jobs ?journal ?(net_delay = Timebase.ms 40) mp_config =
       cache_hits = memo_hits;
       store_hits = lookups - computed;
       hashed = computed;
+      batch_hashed = Ra_cache.Store.batched_computes t.store - batched0;
       distinct_blocks = Ra_cache.Store.distinct_contents t.store;
     }
   in
@@ -136,6 +143,7 @@ let roll_call t ?jobs ?journal ?(net_delay = Timebase.ms 40) mp_config =
            ("cache-hits", Event.I result.cache_hits);
            ("store-hits", Event.I result.store_hits);
            ("hashed", Event.I result.hashed);
+           ("batch-hashed", Event.I result.batch_hashed);
            ("distinct", Event.I result.distinct_blocks);
          ]);
     Journal.commit j);

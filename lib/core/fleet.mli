@@ -49,6 +49,11 @@ type roll_call = {
   cache_hits : int;  (** served by per-device version memos *)
   store_hits : int;  (** served by the shared content-addressed store *)
   hashed : int;  (** digests actually computed, fleet-wide *)
+  batch_hashed : int;
+      (** of [hashed], computed through the store's batch entry point —
+          equals [hashed] under atomic measurement, where both the
+          prover's round and the verifier's report check batch their
+          digests *)
   distinct_blocks : int;  (** distinct block contents in the store *)
 }
 

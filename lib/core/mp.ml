@@ -40,10 +40,14 @@ let counter_bytes c =
    key-independent, which is what lets {!Ra_cache} memoise them per device
    and share them across a whole fleet; the MAC itself still binds nonce,
    counter, traversal order and every block index under the device key. *)
-let mac_over_digests ~hash ~key ~nonce ~counter ~order ~digests =
+let mac_over_digests ?sched ~hash ~key ~nonce ~counter ~order ~digests () =
   if Array.length digests <> Array.length order then
     invalid_arg "Mp.mac_over_digests: digests/order length mismatch";
-  let ctx = Ra_crypto.Mac_stream.create hash ~key in
+  let ctx =
+    match sched with
+    | Some s -> Ra_crypto.Mac_stream.create_with s
+    | None -> Ra_crypto.Mac_stream.create hash ~key
+  in
   Ra_crypto.Mac_stream.update ctx nonce;
   (match counter with
   | Some c -> Ra_crypto.Mac_stream.update ctx (counter_bytes c)
@@ -59,7 +63,7 @@ let mac_over ~hash ~key ~nonce ~counter ~order ~block_content =
   let digests =
     Array.map (fun block -> Ra_crypto.Algo.digest hash (block_content block)) order
   in
-  mac_over_digests ~hash ~key ~nonce ~counter ~order ~digests
+  mac_over_digests ~hash ~key ~nonce ~counter ~order ~digests ()
 
 (* Digest one block through the device's cache when it has one: a hit on
    an unchanged version (or on identical content in the shared store)
@@ -73,6 +77,20 @@ let block_digest device hash block =
         Ra_cache.block_digest cache hash ~block ~version:(Memory.version mem block)
           content
       | None -> Ra_crypto.Algo.digest hash content)
+
+(* Batch counterpart of [block_digest]: one zero-copy borrow of every
+   block in the traversal order, one pass through the cache's batch entry
+   point — so the whole round costs one store lock acquisition and the
+   misses go through the interleaved kernel together. *)
+let block_digests device hash order =
+  let mem = device.Device.memory in
+  Memory.with_blocks mem order (fun contents ->
+      match device.Device.cache with
+      | Some cache ->
+        Ra_cache.block_digest_many cache hash ~blocks:order
+          ~versions:(Array.map (Memory.version mem) order)
+          contents
+      | None -> Ra_crypto.Algo.digest_many hash contents)
 
 (* Shared run state threaded through the per-block continuation chain. *)
 type state = {
@@ -255,11 +273,13 @@ let run_atomic st =
        ~duration
        ~on_complete:(fun () ->
          let mem = memory st in
-         Array.iter
-           (fun block ->
-             let digest = block_digest st.device st.config.hash block in
+         (* The atomic window froze memory, so the whole traversal order
+            can be digested as one batch. *)
+         let digests = block_digests st.device st.config.hash st.order in
+         Array.iteri
+           (fun i block ->
              Ra_crypto.Mac_stream.update st.ctx (index_bytes block);
-             Ra_crypto.Mac_stream.update st.ctx digest;
+             Ra_crypto.Mac_stream.update st.ctx digests.(i);
              if Device.is_data_block st.device block && not st.config.scheme.Scheme.zero_data
              then st.data_copy <- (block, Memory.read_block mem block) :: st.data_copy)
            st.order;

@@ -59,17 +59,28 @@ val mac_over :
     traversal order and the device key. *)
 
 val mac_over_digests :
+  ?sched:Ra_crypto.Mac_stream.key_schedule ->
   hash:Ra_crypto.Algo.hash ->
   key:Bytes.t ->
   nonce:Bytes.t ->
   counter:int option ->
   order:int array ->
   digests:Bytes.t array ->
+  unit ->
   Bytes.t
 (** Same MAC, fed precomputed per-block digests ([digests.(i)] pairs with
-    [order.(i)]); used by callers that obtain digests from a cache. *)
+    [order.(i)]); used by callers that obtain digests from a cache.
+    [?sched] supplies a precomputed key schedule (it must match [hash]
+    and [key]) so batch verification derives the key state once. *)
 
 val block_digest : Ra_device.Device.t -> Ra_crypto.Algo.hash -> int -> Bytes.t
 (** Digest of one block of the device's memory, served through the device's
     digest cache when enabled (zero-copy read, version-keyed memo, shared
     store). The result is shared — treat as immutable. *)
+
+val block_digests :
+  Ra_device.Device.t -> Ra_crypto.Algo.hash -> int array -> Bytes.t array
+(** Batch {!block_digest} over a traversal order of distinct blocks: one
+    zero-copy borrow, one store lock acquisition, misses hashed by the
+    interleaved kernel. Digests and cache counters are bit-identical to
+    the per-block calls. Results are shared — treat as immutable. *)

@@ -58,54 +58,99 @@ let valid_order order blocks =
     order
 
 
-let digest_content t hash content =
+let digest_content_many t hash contents =
   match t.store with
-  | Some store -> snd (Ra_cache.Store.digest store hash content)
-  | None -> Ra_crypto.Algo.digest hash content
+  | Some store -> Array.map snd (Ra_cache.Store.digest_many store hash contents)
+  | None -> Ra_crypto.Algo.digest_many hash contents
 
-let expected_block_digest t report hash block =
-  if List.mem block t.data_blocks then
-    if t.zero_data then Some (digest_content t hash (Bytes.make t.block_size '\000'))
-    else
-      Option.map (digest_content t hash)
-        (List.assoc_opt block report.Report.data_copy)
-  else
-    match Hashtbl.find_opt t.memo (hash, block) with
-    | Some d -> Some d
-    | None ->
-      let content = Bytes.sub t.expected_image (block * t.block_size) t.block_size in
-      let d = digest_content t hash content in
-      Hashtbl.replace t.memo (hash, block) d;
-      Some d
-
-let expected_mac t report =
+(* Expected digests for a whole report are gathered as one batch: memo
+   probes and data-copy resolution first, then a single batch digest for
+   everything still unknown. Mirrors the prover's batch path, so both
+   sides of a fleet drive the shared store exclusively through its
+   single-lock batch entry point — and the store counters still land
+   exactly as the per-block calls would have. *)
+let expected_mac_with ?sched t report =
   let blocks = Bytes.length t.expected_image / t.block_size in
   if not (valid_order report.Report.order blocks) then None
   else begin
-    (* Gather digests first so a missing data copy aborts cleanly. *)
-    let digests =
-      Array.map
-        (fun b -> expected_block_digest t report report.Report.hash b)
-        report.Report.order
-    in
-    if Array.exists Option.is_none digests then None
-    else
+    let hash = report.Report.hash in
+    let n = Array.length report.Report.order in
+    let digests = Array.make n None in
+    let todo_idx = ref [] and todo_content = ref [] in
+    let missing = ref false in
+    Array.iteri
+      (fun i block ->
+        let enqueue content =
+          todo_idx := i :: !todo_idx;
+          todo_content := content :: !todo_content
+        in
+        if List.mem block t.data_blocks then begin
+          if t.zero_data then enqueue (Bytes.make t.block_size '\000')
+          else
+            match List.assoc_opt block report.Report.data_copy with
+            | Some content -> enqueue content
+            | None -> missing := true
+        end
+        else
+          match Hashtbl.find_opt t.memo (hash, block) with
+          | Some d -> digests.(i) <- Some d
+          | None ->
+            enqueue
+              (Bytes.sub t.expected_image (block * t.block_size) t.block_size))
+      report.Report.order;
+    (* A missing data copy aborts cleanly before any digesting. *)
+    if !missing then None
+    else begin
+      let idxs = Array.of_list (List.rev !todo_idx) in
+      let contents = Array.of_list (List.rev !todo_content) in
+      let fresh = digest_content_many t hash contents in
+      Array.iteri
+        (fun k i ->
+          let block = report.Report.order.(i) in
+          if not (List.mem block t.data_blocks) then
+            Hashtbl.replace t.memo (hash, block) fresh.(k);
+          digests.(i) <- Some fresh.(k))
+        idxs;
       Some
-        (Mp.mac_over_digests ~hash:report.Report.hash ~key:t.key
+        (Mp.mac_over_digests ?sched ~hash ~key:t.key
            ~nonce:report.Report.nonce ~counter:report.Report.counter
            ~order:report.Report.order
-           ~digests:(Array.map Option.get digests))
+           ~digests:(Array.map Option.get digests) ())
+    end
   end
 
-let mac_matches t report =
-  match expected_mac t report with
+let expected_mac t report = expected_mac_with t report
+
+let mac_matches ?sched t report =
+  match expected_mac_with ?sched t report with
   | None -> false
   | Some mac -> Ra_crypto.Bytesutil.constant_time_equal mac report.Report.mac
 
-let verify t report =
+let verify_with ?sched t report =
   let blocks = Bytes.length t.expected_image / t.block_size in
-  if Array.length report.Report.order = blocks && mac_matches t report then Clean
+  if Array.length report.Report.order = blocks && mac_matches ?sched t report
+  then Clean
   else Tampered
+
+let verify t report = verify_with t report
+
+(* Batch verification: one key-schedule derivation per hash algorithm in
+   the batch (almost always exactly one), shared across every report;
+   expected digests already flow batch-wise per report. Each tag compare
+   stays constant-time. *)
+let verify_many t reports =
+  let scheds = Hashtbl.create 2 in
+  let sched_for hash =
+    match Hashtbl.find_opt scheds hash with
+    | Some s -> s
+    | None ->
+      let s = Ra_crypto.Mac_stream.schedule hash ~key:t.key in
+      Hashtbl.add scheds hash s;
+      s
+  in
+  Array.map
+    (fun report -> verify_with ~sched:(sched_for report.Report.hash) t report)
+    reports
 
 let verify_region t ~region report =
   let sorted a =

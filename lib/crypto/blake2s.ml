@@ -112,6 +112,17 @@ let init_keyed ~key ~size =
 
 let init () = init_keyed ~key:Bytes.empty ~size:digest_size
 
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    t = ctx.t;
+    out_len = ctx.out_len;
+    m = Array.make 16 0; (* scratch, no state *)
+    v = Array.make 16 0;
+  }
+
 let update ctx src ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length src then
     invalid_arg "Blake2s.update: slice out of bounds";

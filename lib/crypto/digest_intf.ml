@@ -17,6 +17,11 @@ module type S = sig
 
   val init : unit -> ctx
 
+  val copy : ctx -> ctx
+  (** Independent snapshot of the absorbed state: the original and the
+      copy can be updated and finalized separately. This is what makes a
+      precomputed HMAC key schedule reusable across messages. *)
+
   val update : ctx -> Bytes.t -> pos:int -> len:int -> unit
   (** Absorb [len] bytes of input starting at [pos]. Raises
       [Invalid_argument] if the slice is out of bounds. *)

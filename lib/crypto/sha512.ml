@@ -56,6 +56,15 @@ let init () =
     w = Array.make 80 0L;
   }
 
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 80 0L; (* scratch, no state *)
+  }
+
 let rotr x n =
   Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
 

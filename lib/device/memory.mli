@@ -29,6 +29,12 @@ val with_block : t -> int -> (Bytes.t -> 'a) -> 'a
     not mutate the bytes or retain them past its return — use
     {!read_block} when a lasting copy is needed. *)
 
+val with_blocks : t -> int array -> (Bytes.t array -> 'a) -> 'a
+(** Zero-copy batch read: [f] is applied to the live storage of every
+    listed block (same order). Same contract as {!with_block} — no
+    mutation, no retention. This is what lets a whole measurement round
+    feed the batch digest pipeline without copying each block. *)
+
 val version : t -> int -> int
 (** Monotonically-increasing per-block version counter, starting at 0.
     Bumped on every successful direct write and on every cow shadow merge

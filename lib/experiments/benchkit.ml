@@ -81,6 +81,35 @@ let crypto_metrics ?(quick = false) () =
      throughput_metric ~name:"hmac_sha256_mb_s" ~bytes:size ~budget (fun () ->
          ignore (Ra_crypto.Hmac.Sha256.mac ~key buffer)));
   ]
+  @
+  (* Batch path over the same input bytes, re-cut as 1 KiB messages (the
+     shape one fleet measurement round produces). The lane sweep records
+     the interleaving win — and where register pressure takes it back —
+     so a regression in either direction trips compare.exe. *)
+  let msg = 1024 in
+  let batch =
+    Array.init (size / msg) (fun i -> Bytes.sub buffer (i * msg) msg)
+  in
+  let lanes_metric name lanes =
+    throughput_metric ~name ~bytes:size ~budget (fun () ->
+        ignore (Ra_crypto.Sha256_multi.digest_many ~lanes batch))
+  in
+  [
+    throughput_metric ~name:"sha256_batch_mb_s" ~bytes:size ~budget (fun () ->
+        ignore (Ra_crypto.Algo.digest_many Ra_crypto.Algo.SHA_256 batch));
+    lanes_metric "sha256_lanes1_mb_s" 1;
+    lanes_metric "sha256_lanes2_mb_s" 2;
+    lanes_metric "sha256_lanes4_mb_s" 4;
+    (let key = Bytes.of_string "bench-key" in
+     let pairs =
+       Array.map
+         (fun m -> (m, Ra_crypto.Hmac.Sha256.mac ~key m))
+         (Array.sub batch 0 (Array.length batch / 4))
+     in
+     let bytes = msg * Array.length pairs in
+     throughput_metric ~name:"hmac_verify_batch_mb_s" ~bytes ~budget
+       (fun () -> ignore (Ra_crypto.Hmac.Sha256.verify_many ~key pairs)));
+  ]
 
 let engine_events_metric ~budget =
   let events_per_iter = 10_000 in
@@ -137,6 +166,7 @@ let fleet_metrics ?jobs () =
     count_metric ~name:"fleet_cache_hits" roll.Fleet.cache_hits;
     count_metric ~name:"fleet_store_hits" roll.Fleet.store_hits;
     count_metric ~name:"fleet_blocks_hashed" roll.Fleet.hashed;
+    count_metric ~name:"fleet_batch_hashed" roll.Fleet.batch_hashed;
     count_metric ~name:"fleet_distinct_blocks" roll.Fleet.distinct_blocks;
   ]
 

@@ -87,10 +87,21 @@ let run config ~infected =
      root's expected value, so each distinct firmware is hashed once per
      round instead of once per side. *)
   let store = Ra_cache.Store.create () in
+  (* The clean expected digests for the whole swarm are gathered up front
+     through the store's batch entry point: one lock acquisition for the
+     round, distinct firmwares hashed by the interleaved kernel. Only an
+     infected node's own (tampered) measurement still probes singly. *)
+  let clean_digests =
+    Array.map snd
+      (Ra_cache.Store.digest_many store Ra_crypto.Algo.SHA_256
+         (Array.init config.nodes (fun id -> node_firmware config ~infected:[] id)))
+  in
   let firmware_digest ~infected id =
-    snd
-      (Ra_cache.Store.digest store Ra_crypto.Algo.SHA_256
-         (node_firmware config ~infected id))
+    if List.mem id infected then
+      snd
+        (Ra_cache.Store.digest store Ra_crypto.Algo.SHA_256
+           (node_firmware config ~infected id))
+    else clean_digests.(id)
   in
   let node_mac ~infected id =
     Ra_crypto.Mac_stream.mac Ra_crypto.Algo.SHA_256 ~key:(node_key config id)

@@ -172,6 +172,59 @@ let equivalence_tests =
     equivalence_property "BLAKE2s" Blake2s.digest Checked.blake2s;
   ]
 
+(* Batch kernel vs reference: ragged lengths biased to block boundaries
+   (the lockstep/scalar hand-off points), batch sizes covering 0, 1, odd
+   counts and lane-count boundaries for every supported lane width. *)
+let prop_digest_many_matches_checked =
+  let boundary_len =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, 0 -- 300);
+          (2, oneofl [ 0; 1; 55; 56; 63; 64; 65; 119; 127; 128; 129; 191; 192 ]);
+        ])
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun msgs ->
+        Printf.sprintf "[%s]"
+          (String.concat "; " (List.map string_of_int msgs)))
+      QCheck.Gen.(0 -- 9 >>= fun n -> list_size (return n) boundary_len)
+  in
+  QCheck.Test.make ~name:"digest_many (lanes 1/2/4) = map Checked.sha256"
+    ~count:300 arb (fun lens ->
+      let msgs =
+        Array.of_list
+          (List.mapi
+             (fun i len ->
+               Bytes.init len (fun j -> Char.chr ((i + (j * 131)) land 0xFF)))
+             lens)
+      in
+      let reference = Checked.sha256_many msgs in
+      List.for_all
+        (fun lanes ->
+          let got = Sha256_multi.digest_many ~lanes msgs in
+          Array.length got = Array.length reference
+          && Array.for_all2 Bytes.equal got reference)
+        [ 1; 2; 4 ])
+
+let prop_algo_digest_many =
+  QCheck.Test.make ~name:"Algo.digest_many = map Algo.digest" ~count:60
+    QCheck.(list_of_size Gen.(0 -- 6) (string_of_size Gen.(0 -- 200)))
+    (fun inputs ->
+      let msgs = Array.of_list (List.map Bytes.of_string inputs) in
+      List.for_all
+        (fun h ->
+          Array.for_all2 Bytes.equal
+            (Algo.digest_many h msgs)
+            (Array.map (Algo.digest h) msgs))
+        Algo.all_hashes)
+
+let test_digest_many_lane_validation () =
+  Alcotest.check_raises "lanes = 3"
+    (Invalid_argument "Sha256_multi.digest_many: lanes must be 1, 2 or 4")
+    (fun () -> ignore (Sha256_multi.digest_many ~lanes:3 [| Bytes.empty |]))
+
 let test_unsafe_load_matches_checked () =
   let b = Bytes.init 32 (fun i -> Char.chr ((i * 37 + 5) land 0xFF)) in
   for i = 0 to 24 do
@@ -224,6 +277,54 @@ let test_hmac_verify () =
     (Hmac.Sha256.verify ~key ~tag (Bytes.of_string "x"));
   check Alcotest.bool "verify bad key" false
     (Hmac.Sha256.verify ~key:(Bytes.of_string "kk") ~tag msg)
+
+let test_hmac_schedule_reuse () =
+  let key = Bytes.of_string "schedule-key" in
+  let sched = Hmac.Sha256.schedule ~key in
+  let m1 = Bytes.of_string "first message" and m2 = Bytes.of_string "second" in
+  check Alcotest.string "mac_with = mac" (hex (Hmac.Sha256.mac ~key m1))
+    (hex (Hmac.Sha256.mac_with sched m1));
+  (* The schedule must survive a finalize: this second use is exactly the
+     "context dies after final" bug the schedule split fixes. *)
+  check Alcotest.string "schedule survives finalize"
+    (hex (Hmac.Sha256.mac ~key m2))
+    (hex (Hmac.Sha256.mac_with sched m2));
+  let ctx = Hmac.Sha256.init_with sched in
+  Hmac.Sha256.update ctx m1 ~pos:0 ~len:5;
+  Hmac.Sha256.update ctx m1 ~pos:5 ~len:(Bytes.length m1 - 5);
+  check Alcotest.string "init_with incremental" (hex (Hmac.Sha256.mac ~key m1))
+    (hex (Hmac.Sha256.finalize ctx));
+  check Alcotest.bool "verify_with ok" true
+    (Hmac.Sha256.verify_with sched ~tag:(Hmac.Sha256.mac ~key m1) m1)
+
+let prop_hmac_verify_many =
+  QCheck.Test.make ~name:"verify_many = map verify (incl. tampered tags)"
+    ~count:100
+    QCheck.(
+      pair (string_of_size Gen.(0 -- 64))
+        (small_list (pair (string_of_size Gen.(0 -- 120)) bool)))
+    (fun (key, specs) ->
+      let key = Bytes.of_string key in
+      let pairs =
+        Array.of_list
+          (List.map
+             (fun (msg, tamper) ->
+               let msg = Bytes.of_string msg in
+               let tag = Hmac.Sha256.mac ~key msg in
+               if tamper then
+                 Bytes.set tag 0 (Char.chr (Char.code (Bytes.get tag 0) lxor 1));
+               (msg, tag))
+             specs)
+      in
+      let got = Hmac.Sha256.verify_many ~key pairs in
+      let expected =
+        Array.map (fun (msg, tag) -> Hmac.Sha256.verify ~key ~tag msg) pairs
+      in
+      got = expected
+      && Array.for_all2
+           (fun ok (_, tamper) -> ok = not tamper)
+           got
+           (Array.of_list specs))
 
 let prop_hmac_incremental =
   QCheck.Test.make ~name:"HMAC incremental = one-shot" ~count:100
@@ -402,6 +503,13 @@ let () =
       ( "optimized vs checked",
         Alcotest.test_case "unsafe loads" `Quick test_unsafe_load_matches_checked
         :: List.map qtest equivalence_tests );
+      ( "batch digest",
+        [
+          qtest prop_digest_many_matches_checked;
+          qtest prop_algo_digest_many;
+          Alcotest.test_case "lane validation" `Quick
+            test_digest_many_lane_validation;
+        ] );
       ( "incremental",
         [
           qtest (incremental_property (module Sha256));
@@ -414,6 +522,8 @@ let () =
         [
           Alcotest.test_case "rfc4231 vectors" `Quick test_hmac_vectors;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
+          Alcotest.test_case "schedule reuse" `Quick test_hmac_schedule_reuse;
+          qtest prop_hmac_verify_many;
           qtest prop_hmac_incremental;
         ] );
       ( "aes/cmac",
