@@ -1,4 +1,4 @@
-.PHONY: build test lint lint-update chaos fleet-chaos replay check bench bench-json bench-check clean
+.PHONY: build test lint lint-update chaos fleet fleet-chaos replay check bench bench-json bench-check clean
 
 build:
 	dune build
@@ -31,6 +31,14 @@ chaos: build
 fleet-chaos: build
 	dune exec bin/ratool.exe -- fleet-chaos --devices 200 --jobs 4 --check-jobs 1
 
+# The sharded roll-call gate: 100k virtually provisioned devices attested
+# through Fleet.sharded_roll_call, then re-run at another jobs value and
+# another shard count; the fleet Merkle root and every exact counter must
+# be bit-identical across all three runs (DESIGN.md §12).
+fleet: build
+	dune exec bin/ratool.exe -- fleet --devices 100000 --shards 8 \
+	  --check-jobs 2 --check-shards 3
+
 # The crash-recovery gate: record a campaign into a write-ahead journal,
 # kill the verifier mid-campaign (torn WAL tail), resume from
 # journal+snapshot and require a digest bit-identical to a never-killed
@@ -40,7 +48,7 @@ replay: build
 	  --kill-at-round 5 --resume --check-jobs 1 --journal _build/fleet-chaos-journal
 	dune exec bin/ratool.exe -- replay --journal _build/fleet-chaos-journal/j4
 
-check: build test lint chaos fleet-chaos replay
+check: build test lint chaos fleet fleet-chaos replay
 
 # Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build

@@ -161,7 +161,7 @@ let regenerate_chaos () =
 
 let regenerate_fleet () =
   banner "Fleet attestation with HKDF-derived per-device keys (extension)";
-  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "bench-master") in
+  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "bench-master") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
   in

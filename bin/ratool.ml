@@ -24,6 +24,35 @@ let jobs_term =
     const (fun jobs -> Option.iter Ra_parallel.set_default_jobs jobs)
     $ Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc))
 
+(* comma-separated positive job counts, rejected at parse time (usage error
+   before any experiment runs) rather than after a full campaign *)
+let jobs_list_conv =
+  let parse s =
+    let entries = List.map String.trim (String.split_on_char ',' s) in
+    let ints = List.map int_of_string_opt entries in
+    if entries = [] || List.exists (function Some j -> j < 1 | None -> true) ints
+    then
+      Error
+        (`Msg
+          (Printf.sprintf
+             "invalid job list %S: expected comma-separated positive integers \
+              (e.g. 1,4)"
+             s))
+    else Ok (List.filter_map Fun.id ints)
+  in
+  let print fmt js =
+    Format.pp_print_string fmt (String.concat "," (List.map string_of_int js))
+  in
+  Arg.conv ~docv:"J1,J2" (parse, print)
+
+let check_jobs_arg =
+  Arg.(
+    value & opt jobs_list_conv []
+    & info [ "check-jobs" ] ~docv:"J1,J2"
+        ~doc:
+          "Repeat the run at each of these job counts and fail unless every \
+           counter digest is bit-identical.")
+
 (* --- fig1: on-demand protocol timeline ------------------------------- *)
 
 let scheme_arg =
@@ -220,7 +249,7 @@ let report_cmd =
 
 let run_rollout _seed =
   print_endline "E-RO — attested firmware rollout across a fleet";
-  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "rollout-master") in
+  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "rollout-master") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
   in
@@ -428,7 +457,7 @@ let infect_device device ~block =
 
 let run_fleet_demo () =
   print_endline "E-FL — fleet attestation with HKDF-derived per-device keys";
-  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "demo-master-secret") in
+  let fleet = Ra_core.Fleet.create ~master_secret:(Bytes.of_string "demo-master-secret") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 256 }
   in
@@ -441,83 +470,130 @@ let run_fleet_demo () =
   Printf.printf "tampered: %s
 " (String.concat ", " roll.Ra_core.Fleet.tampered)
 
-(* Roll-call-at-scale: N devices on one shared-firmware release, every
-   1000th one infected, attested over the Ra_parallel pool. Verdicts and
-   cache counters are invariant under --jobs; only wall time moves. *)
-let run_fleet_scale ~seed ~devices =
+(* Counter-and-root signature of a roll call: everything that must be
+   invariant across --jobs and --shards. The shard count and per-shard
+   roots legitimately differ between shard counts, so --check-shards
+   compares this signature; --check-jobs additionally demands identical
+   shard roots (same shard count, so nothing may move). *)
+let fr_signature r =
   let open Ra_core in
-  Printf.printf "E-FL — fleet roll call at scale: %d devices\n" devices;
-  let fleet =
-    Fleet.create
-      ~master_secret:(Bytes.of_string (Printf.sprintf "fleet-master-secret-%d" seed))
-  in
-  let config =
-    {
-      Ra_device.Device.default_config with
-      Ra_device.Device.blocks = 16;
-      block_size = 256;
-      modeled_block_bytes = 1024 * 1024;
-    }
-  in
-  let _, provision_s =
-    Benchkit.wall (fun () ->
-        for i = 0 to devices - 1 do
-          ignore (Fleet.provision fleet (Printf.sprintf "dev-%06d" i) ~config ())
-        done)
-  in
-  let tampered_expected = ref 0 in
-  for i = 0 to devices - 1 do
-    if i mod 1000 = 500 then begin
-      incr tampered_expected;
-      infect_device (Fleet.device fleet (Printf.sprintf "dev-%06d" i)) ~block:(i mod 16)
-    end
-  done;
-  let roll, roll_s =
-    Benchkit.wall (fun () -> Fleet.roll_call fleet Mp.default_config)
-  in
-  let hits = roll.Fleet.cache_hits + roll.Fleet.store_hits in
-  Printf.printf "provisioned in %.2f s, roll call in %.2f s (%.0f devices/s)\n"
-    provision_s roll_s
-    (float_of_int devices /. roll_s);
-  Printf.printf "clean %d | tampered %d (expected %d)%s\n"
-    (List.length roll.Fleet.clean)
-    (List.length roll.Fleet.tampered)
-    !tampered_expected
-    (match roll.Fleet.tampered with
-    | [] -> ""
-    | id :: _ -> Printf.sprintf ", first: %s" id);
-  Printf.printf
-    "digest cache: %d requests, %d memo hits, %d store hits, %d hashed \
-     (%d batched, %d distinct blocks) — hit rate %.2f%%\n"
-    roll.Fleet.digest_requests roll.Fleet.cache_hits roll.Fleet.store_hits
-    roll.Fleet.hashed roll.Fleet.batch_hashed roll.Fleet.distinct_blocks
-    (100. *. Fleet.hit_rate roll);
-  let acct =
-    Ra_device.Cost_model.cache_accounting config.Ra_device.Device.cost
-      Ra_crypto.Algo.SHA_256
-      ~block_bytes:config.Ra_device.Device.modeled_block_bytes ~hits
-      ~misses:roll.Fleet.hashed
-  in
-  Printf.printf
-    "modeled prover hashing: %.1f s charged in virtual time (cache skipped \
-     the host-side share of %.1f s of it)\n"
-    (acct.Ra_device.Cost_model.modeled_ns_total /. 1e9)
-    (acct.Ra_device.Cost_model.modeled_ns_hit /. 1e9)
+  let roll = r.Fleet_roll.roll in
+  ( (roll.Fleet.clean, roll.Fleet.tampered),
+    ( roll.Fleet.digest_requests,
+      roll.Fleet.cache_hits,
+      roll.Fleet.store_hits,
+      roll.Fleet.hashed,
+      roll.Fleet.batch_hashed,
+      roll.Fleet.distinct_blocks ),
+    roll.Fleet.fleet_root )
 
-let run_fleet () seed devices =
-  if devices = 0 then run_fleet_demo ()
-  else run_fleet_scale ~seed ~devices
+let fr_root r = Ra_crypto.Bytesutil.to_hex r.Fleet_roll.roll.Ra_core.Fleet.fleet_root
+
+(* Roll-call-at-scale: N devices on one shared-firmware release, every
+   1000th one infected, enrolled virtually and attested shard by shard
+   over the Ra_parallel pool. Verdicts, counters and the fleet Merkle
+   root are invariant under --jobs and --shards; only wall time moves. *)
+let run_fleet_scale ~seed ~devices ~shards ~check_jobs ~check_shards
+    ~journal_dir =
+  Printf.printf "E-FL — fleet roll call at scale: %d devices\n" devices;
+  let journal =
+    Option.map
+      (fun dir -> Ra_journal.Journal.create (Ra_journal.Disk.file ~dir))
+      journal_dir
+  in
+  let r = Fleet_roll.run ~devices ~seed ?shards ?journal () in
+  print_string (Fleet_roll.render r);
+  (match journal_dir with
+  | Some dir ->
+    Printf.printf "campaign journal recorded in %s/ (ratool replay --journal %s)\n"
+      dir dir
+  | None -> ());
+  let mismatches =
+    List.filter_map
+      (fun j ->
+        let r' = Fleet_roll.run ~devices ~seed ~shards:r.Fleet_roll.shards ~jobs:j () in
+        if
+          fr_signature r' = fr_signature r
+          && r'.Fleet_roll.roll.Ra_core.Fleet.shard_roots
+             = r.Fleet_roll.roll.Ra_core.Fleet.shard_roots
+        then begin
+          Printf.printf "jobs=%d: fleet root and counters bit-identical\n" j;
+          None
+        end
+        else
+          Some
+            (Printf.sprintf "jobs=%d diverged:\n  %s\n  %s" j (fr_root r)
+               (fr_root r')))
+      check_jobs
+    @ List.filter_map
+        (fun s ->
+          let r' = Fleet_roll.run ~devices ~seed ~shards:s () in
+          if fr_signature r' = fr_signature r then begin
+            Printf.printf "shards=%d: fleet root and counters bit-identical\n" s;
+            None
+          end
+          else
+            Some
+              (Printf.sprintf "shards=%d diverged:\n  %s\n  %s" s (fr_root r)
+                 (fr_root r')))
+        check_shards
+  in
+  if mismatches = [] then `Ok ()
+  else begin
+    List.iter (fun m -> Printf.eprintf "ratool fleet: %s\n" m) mismatches;
+    prerr_endline "ratool fleet: invariance check failed";
+    exit 1
+  end
+
+let run_fleet () seed devices shards check_jobs check_shards journal_dir =
+  if devices = 0 then begin
+    run_fleet_demo ();
+    `Ok ()
+  end
+  else
+    run_fleet_scale ~seed ~devices ~shards ~check_jobs ~check_shards
+      ~journal_dir
 
 let devices_arg =
   let doc =
-    "Scale mode: provision $(docv) devices on one firmware release and run a \
-     parallel roll call (0 runs the 5-device demo)."
+    "Scale mode: enrol $(docv) devices on one firmware release and run a \
+     sharded parallel roll call (0 runs the 5-device demo)."
   in
   Arg.(value & opt int 0 & info [ "devices" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Contiguous roster shards, one pool task each (default: the jobs \
+           count). The fleet Merkle root and every counter are identical \
+           for any value.")
+
+let check_shards_arg =
+  Arg.(
+    value & opt jobs_list_conv []
+    & info [ "check-shards" ] ~docv:"S1,S2"
+        ~doc:
+          "Repeat the roll call at each of these shard counts and fail \
+           unless the fleet root and all counters are bit-identical.")
+
+let fleet_journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Record the campaign (parameters, counters, fleet root and shard \
+           roots) as a journal under $(docv), replayable with $(b,ratool \
+           replay --journal DIR).")
+
 let fleet_cmd =
   let info = Cmd.info "fleet" ~doc:"Multi-device attestation with derived keys" in
-  Cmd.v info Term.(const run_fleet $ jobs_term $ seed_arg $ devices_arg)
+  Cmd.v info
+    Term.(
+      ret
+        (const run_fleet $ jobs_term $ seed_arg $ devices_arg $ shards_arg
+       $ check_jobs_arg $ check_shards_arg $ fleet_journal_arg))
 
 (* --- swarm ----------------------------------------------------------------- *)
 
@@ -566,35 +642,6 @@ let chaos_cmd =
 
 (* --- fleet-chaos ------------------------------------------------------------ *)
 
-(* comma-separated positive job counts, rejected at parse time (usage error
-   before any experiment runs) rather than after a full campaign *)
-let jobs_list_conv =
-  let parse s =
-    let entries = List.map String.trim (String.split_on_char ',' s) in
-    let ints = List.map int_of_string_opt entries in
-    if entries = [] || List.exists (function Some j -> j < 1 | None -> true) ints
-    then
-      Error
-        (`Msg
-          (Printf.sprintf
-             "invalid job list %S: expected comma-separated positive integers \
-              (e.g. 1,4)"
-             s))
-    else Ok (List.filter_map Fun.id ints)
-  in
-  let print fmt js =
-    Format.pp_print_string fmt (String.concat "," (List.map string_of_int js))
-  in
-  Arg.conv ~docv:"J1,J2" (parse, print)
-
-let check_jobs_arg =
-  Arg.(
-    value & opt jobs_list_conv []
-    & info [ "check-jobs" ] ~docv:"J1,J2"
-        ~doc:
-          "Repeat the run at each of these job counts and fail unless every \
-           counter digest is bit-identical.")
-
 let fc_digest r = r.Fleet_chaos.report.Ra_supervisor.Supervisor.counter_digest
 let fc_detections r =
   List.length r.Fleet_chaos.report.Ra_supervisor.Supervisor.detections
@@ -605,8 +652,10 @@ let default_journal_dir = "fleet-chaos-journal"
    own journal directory, kill it mid-round-K, resume from journal+snapshot,
    and require the finished run to match a never-killed reference run —
    same digest, same detection count, no invariant violations. *)
-let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs =
-  let reference = Fleet_chaos.run ~devices ~seed ~jobs:1 ~max_rounds:rounds () in
+let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs ?shards () =
+  let reference =
+    Fleet_chaos.run ~devices ~seed ~jobs:1 ?shards ~max_rounds:rounds ()
+  in
   print_string (Fleet_chaos.render reference);
   Printf.printf "\nkill/resume proof: kill at round %d, journals under %s/\n"
     kill_at dir;
@@ -616,7 +665,7 @@ let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs =
         let subdir = Filename.concat dir (Printf.sprintf "j%d" j) in
         let disk = Ra_journal.Disk.file ~dir:subdir in
         let killed =
-          Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs:j
+          Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs:j ?shards
             ~max_rounds:rounds ~kill_at_round:kill_at ()
         in
         if not killed then
@@ -624,7 +673,7 @@ let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs =
               "jobs=%d: campaign converged before round %d; nothing was killed"
               j kill_at ]
         else
-          match Fleet_chaos.resume ~disk ~jobs:j () with
+          match Fleet_chaos.resume ~disk ~jobs:j ?shards () with
           | Error e -> [ Printf.sprintf "jobs=%d: resume failed: %s" j e ]
           | Ok r ->
             let problems =
@@ -656,8 +705,8 @@ let kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at ~all_jobs =
     exit 1
   end
 
-let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
-    resume =
+let run_fleet_chaos devices jobs shards seed rounds check_jobs journal_dir
+    kill_at resume =
   if devices < 1 then `Error (true, "--devices must be at least 1")
   else if jobs < 1 then `Error (true, "--jobs must be at least 1")
   else
@@ -667,13 +716,14 @@ let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
       let dir = Option.value journal_dir ~default:default_journal_dir in
       let all_jobs = jobs :: List.filter (fun j -> j <> jobs) check_jobs in
       kill_resume_proof ~devices ~seed ~rounds ~dir ~kill_at:k ~all_jobs
+        ?shards ()
     | Some k, false ->
       (* record a crash artifact and stop — resume it in a later invocation *)
       let dir = Option.value journal_dir ~default:default_journal_dir in
       let disk = Ra_journal.Disk.file ~dir in
       let killed =
-        Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs ~max_rounds:rounds
-          ~kill_at_round:k ()
+        Fleet_chaos.record_killed ~disk ~devices ~seed ~jobs ?shards
+          ~max_rounds:rounds ~kill_at_round:k ()
       in
       if killed then
         Printf.printf
@@ -693,7 +743,7 @@ let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
       else begin
         let dir = Option.value journal_dir ~default:default_journal_dir in
         let disk = Ra_journal.Disk.file ~dir in
-        match Fleet_chaos.resume ~disk ~jobs () with
+        match Fleet_chaos.resume ~disk ~jobs ?shards () with
         | Error e -> `Error (false, "resume failed: " ^ e)
         | Ok r ->
           print_string (Fleet_chaos.render r);
@@ -709,7 +759,10 @@ let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
           (fun dir -> Ra_journal.Journal.create (Ra_journal.Disk.file ~dir))
           journal_dir
       in
-      let r = Fleet_chaos.run ~devices ~seed ~jobs ?journal ~max_rounds:rounds () in
+      let r =
+        Fleet_chaos.run ~devices ~seed ~jobs ?shards ?journal
+          ~max_rounds:rounds ()
+      in
       print_string (Fleet_chaos.render r);
       (match journal_dir with
       | Some dir ->
@@ -719,7 +772,9 @@ let run_fleet_chaos devices jobs seed rounds check_jobs journal_dir kill_at
       let mismatches =
         List.filter_map
           (fun j ->
-            let r' = Fleet_chaos.run ~devices ~seed ~jobs:j ~max_rounds:rounds () in
+            let r' =
+              Fleet_chaos.run ~devices ~seed ~jobs:j ?shards ~max_rounds:rounds ()
+            in
             if String.equal (fc_digest r) (fc_digest r') then begin
               Printf.printf "jobs=%d: counters bit-identical\n" j;
               None
@@ -789,50 +844,84 @@ let fleet_chaos_cmd =
              to convergence (with $(b,--kill-at-round), run the full \
              kill/resume proof instead).")
   in
+  let fc_shards_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Contiguous roster chunks per supervision round's execute phase \
+             (results are identical for any value).")
+  in
   let info = Cmd.info "fleet-chaos" ~doc in
   Cmd.v info
     Term.(
       ret
-        (const run_fleet_chaos $ devices_arg $ fc_jobs_arg $ seed_arg
-       $ rounds_arg $ check_jobs_arg $ journal_dir_arg $ kill_at_arg
-       $ resume_arg))
+        (const run_fleet_chaos $ devices_arg $ fc_jobs_arg $ fc_shards_arg
+       $ seed_arg $ rounds_arg $ check_jobs_arg $ journal_dir_arg
+       $ kill_at_arg $ resume_arg))
 
 (* --- replay ------------------------------------------------------------------ *)
+
+(* One verify-mode replay per jobs value; [replay_one] prints per-jobs
+   progress and [finish] renders the last verified result. *)
+let replay_all ~all_jobs ~replay_one ~finish =
+  let outcome =
+    List.fold_left
+      (fun acc j ->
+        match acc with
+        | Error _ -> acc
+        | Ok _ -> (
+          match replay_one j with
+          | Error e -> Error (j, e)
+          | Ok r ->
+            Printf.printf
+              "jobs=%d: replayed bit-identically — every record and the \
+               final digest verified\n"
+              j;
+            Ok (Some r)))
+      (Ok None) all_jobs
+  in
+  match outcome with
+  | Error (j, e) ->
+    Printf.eprintf "ratool replay: jobs=%d diverged from the journal: %s\n" j e;
+    exit 1
+  | Ok None -> `Ok ()
+  | Ok (Some r) ->
+    print_newline ();
+    finish r
+
+(* The journal's leading campaign record names the experiment that wrote
+   it, so replay dispatches on that — the same directory flag serves every
+   journaled campaign kind. *)
+let journal_experiment disk =
+  match Ra_journal.Journal.recover disk with
+  | Error _ -> None
+  | Ok r ->
+    if Array.length r.Ra_journal.Journal.events = 0 then None
+    else Ra_journal.Event.find_s r.Ra_journal.Journal.events.(0) "experiment"
 
 let run_replay jobs dir check_jobs =
   if jobs < 1 then `Error (true, "--jobs must be at least 1")
   else begin
     let disk = Ra_journal.Disk.file ~dir in
     let all_jobs = jobs :: List.filter (fun j -> j <> jobs) check_jobs in
-    let outcome =
-      List.fold_left
-        (fun acc j ->
-          match acc with
-          | Error _ -> acc
-          | Ok _ -> (
-            match Fleet_chaos.replay ~disk ~jobs:j () with
-            | Error e -> Error (j, e)
-            | Ok r ->
-              Printf.printf
-                "jobs=%d: replayed bit-identically — every record and the \
-                 final digest verified\n"
-                j;
-              Ok (Some r)))
-        (Ok None) all_jobs
-    in
-    match outcome with
-    | Error (j, e) ->
-      Printf.eprintf "ratool replay: jobs=%d diverged from the journal: %s\n" j e;
-      exit 1
-    | Ok None -> `Ok ()
-    | Ok (Some r) ->
-      print_newline ();
-      print_string (Fleet_chaos.render r);
-      if r.Fleet_chaos.violations = [] then `Ok ()
-      else begin
-        prerr_endline "ratool replay: replayed campaign violated invariants";
-        exit 1
-      end
+    match journal_experiment disk with
+    | Some "fleet-roll" ->
+      replay_all ~all_jobs
+        ~replay_one:(fun j -> Fleet_roll.replay ~disk ~jobs:j ())
+        ~finish:(fun r ->
+          print_string (Fleet_roll.render r);
+          `Ok ())
+    | _ ->
+      replay_all ~all_jobs
+        ~replay_one:(fun j -> Fleet_chaos.replay ~disk ~jobs:j ())
+        ~finish:(fun r ->
+          print_string (Fleet_chaos.render r);
+          if r.Fleet_chaos.violations = [] then `Ok ()
+          else begin
+            prerr_endline "ratool replay: replayed campaign violated invariants";
+            exit 1
+          end)
   end
 
 let replay_cmd =
@@ -845,7 +934,10 @@ let replay_cmd =
     Arg.(
       value & opt string default_journal_dir
       & info [ "journal" ] ~docv:"DIR"
-          ~doc:"Journal directory recorded by $(b,ratool fleet-chaos --journal).")
+          ~doc:
+            "Journal directory recorded by $(b,ratool fleet-chaos --journal) \
+             or $(b,ratool fleet --journal); the campaign record inside \
+             names the experiment to re-run.")
   in
   let rp_jobs_arg =
     Arg.(

@@ -39,7 +39,7 @@ let glyph = function
 let () =
   let fleet =
     Fleet.create
-      ~master_secret:(Bytes.of_string "self-healing fleet example secret")
+      ~master_secret:(Bytes.of_string "self-healing fleet example secret") ()
   in
   let ids =
     List.init fleet_size (fun i ->

@@ -28,14 +28,22 @@ type stats = {
 
 module Store : sig
   (** Content-addressed digest store, safe to share across domains. The
-      digest for a fresh content is computed inside the store's critical
-      section, so each distinct content is hashed exactly once globally —
-      which makes all derived hit/miss counts deterministic under any
-      parallel job count. *)
+      key space is lock-striped: each stripe (a pure function of the
+      content bytes) has its own table, mutex and counters, so concurrent
+      shards hashing distinct content take distinct locks. The digest for
+      a fresh content is computed inside its stripe's critical section,
+      so each distinct content is hashed exactly once globally — which
+      makes all derived hit/miss counts deterministic under any parallel
+      job count and any shard count. *)
 
   type t
 
-  val create : unit -> t
+  val create : ?stripes:int -> unit -> t
+  (** [stripes] (default 16) is rounded up to a power of two and clamped
+      to [1, 4096]. [create ~stripes:1 ()] is the flat single-mutex store
+      the striped one is qcheck-diffed against. *)
+
+  val stripes : t -> int
 
   val digest : t -> Algo.hash -> Bytes.t -> bool * Bytes.t
   (** [digest t algo content] returns [(hit, digest)]. [content] is
@@ -43,14 +51,19 @@ module Store : sig
       on first insertion). The digest is shared: do not mutate. *)
 
   val digest_many : t -> Algo.hash -> Bytes.t array -> (bool * Bytes.t) array
-  (** Batch {!digest}: hits and misses are partitioned under a single
-      lock acquisition and all misses are computed together through the
-      interleaved kernel. Results, table state and every counter are
-      bit-identical to calling {!digest} once per element in order (an
-      in-batch duplicate counts as a hit after its first occurrence).
-      Contents are borrowed for the duration of the call. *)
+  (** Batch {!digest}: the batch is partitioned by stripe and each
+      stripe's sub-batch is resolved under one acquisition of that
+      stripe's lock — hits and misses split first, then all misses
+      computed together through the interleaved kernel. Results, table
+      state and every counter are bit-identical to calling {!digest} once
+      per element in order (an in-batch duplicate counts as a hit after
+      its first occurrence). Contents are borrowed for the duration of
+      the call. *)
 
   val lookups : t -> int
+  (** Counter reads sum over stripes, stripe lock by stripe lock —
+      deterministic whenever the store is quiescent (e.g. at a roll-call
+      barrier). *)
 
   val computed : t -> int
   (** Number of digests actually computed = number of distinct

@@ -3,7 +3,16 @@
     Each device's attestation key is HKDF-derived from a master secret and
     the device identifier, so the verifier stores one secret and a device
     roster rather than per-device key material, and a leaked device key
-    compromises only that device. *)
+    compromises only that device.
+
+    Roll calls scale two ways: the flat {!roll_call} fans out one pool
+    task per device, and {!sharded_roll_call} splits the roster into
+    contiguous shards — one task per shard, virtual devices materialized
+    inside the task — so a million-device fleet never holds a million
+    simulators live. Both aggregate evidence hierarchically: device
+    reports are reduced to fixed-width segment Merkle roots and those to
+    one fleet root, which is bit-identical for any [jobs], any [shards],
+    and across the two entry points. *)
 
 open Ra_sim
 
@@ -11,7 +20,10 @@ type t
 
 type device_id = string
 
-val create : master_secret:Bytes.t -> t
+val create : ?stripes:int -> master_secret:Bytes.t -> unit -> t
+(** [stripes] sizes the shared digest store's lock striping (see
+    {!Ra_cache.Store.create}); the default suits tens of concurrent
+    shards. *)
 
 val derive_key : t -> device_id -> Bytes.t
 (** The 32-byte per-device attestation key. Deterministic per (master,
@@ -30,6 +42,23 @@ val provision :
     and [store] are overridden. Raises [Invalid_argument] if the id is
     already enrolled. *)
 
+val provision_virtual :
+  t ->
+  device_id ->
+  ?config:Ra_device.Device.config ->
+  ?tamper:(Ra_device.Device.t -> unit) ->
+  unit ->
+  unit
+(** Enrol a device by recipe instead of by instance: the device is
+    materialized (deterministically, from the stored config) inside
+    whichever roll-call task attests it, [tamper] is applied to the fresh
+    instance, and the simulator is dropped once its report is in. This is
+    what keeps million-device fleets within memory — the live set is one
+    shard's worth of devices, not the roster. The per-device memo cache
+    does not persist across roll calls for virtual devices (each call
+    attests a fresh instance); use {!provision} when warm-cache behaviour
+    matters. Same key/seed/store overrides as {!provision}. *)
+
 val verifier_for : t -> device_id -> Verifier.t
 (** The verifier view (expected image + derived key) for an enrolled
     device. Raises [Not_found] for unknown ids. *)
@@ -38,7 +67,8 @@ val enrolled : t -> device_id list
 (** Roster, in enrolment order. *)
 
 val device : t -> device_id -> Ra_device.Device.t
-(** Raises [Not_found] for unknown ids. *)
+(** Raises [Not_found] for unknown ids. For a {!provision_virtual} entry
+    this materializes a fresh instance on every call. *)
 
 type roll_call = {
   clean : device_id list;
@@ -55,10 +85,25 @@ type roll_call = {
           prover's round and the verifier's report check batch their
           digests *)
   distinct_blocks : int;  (** distinct block contents in the store *)
+  shards : int;  (** effective shard count (1 for the flat entry point) *)
+  shard_roots : Bytes.t array;
+      (** per-shard Merkle roots over that shard's segment roots — the
+          handle for localizing a divergent shard without recomputing the
+          fleet *)
+  fleet_root : Bytes.t;
+      (** Merkle root over all segment roots (segments are fixed
+          1024-device runs of the roster, independent of sharding), where
+          each leaf is [id || verdict byte || report MAC]. Invariant
+          across [jobs] and [shards]; [Bytes.empty] for an empty
+          roster. *)
 }
 
 val hit_rate : roll_call -> float
 (** [(cache_hits + store_hits) / digest_requests]; 0 on an empty fleet. *)
+
+val segment_size : int
+(** Devices per aggregation segment (1024): the fixed fan-in that
+    decouples the fleet Merkle tree's shape from the shard count. *)
 
 val roll_call :
   t ->
@@ -70,11 +115,29 @@ val roll_call :
 (** Run the full on-demand protocol against every enrolled device and
     partition the roster by verdict. Devices are independent simulations,
     so the roll call fans out over the {!Ra_parallel} domain pool; the
-    result — verdicts and cache counters alike — is bit-identical for any
-    [jobs] value, because the shared store computes each distinct content
-    exactly once regardless of arrival order. With [journal], a committed
-    "roll-call" provenance record (verdict partition sizes plus the cache
-    and store counters) is appended after the fan-out settles. *)
+    result — verdicts, cache counters and Merkle roots alike — is
+    bit-identical for any [jobs] value, because the shared store computes
+    each distinct content exactly once regardless of arrival order. With
+    [journal], a committed "roll-call" provenance record (verdict
+    partition sizes, cache and store counters, fleet root and
+    concatenated shard roots) is appended after the fan-out settles. *)
+
+val sharded_roll_call :
+  t ->
+  ?jobs:int ->
+  ?shards:int ->
+  ?journal:Ra_journal.Journal.t ->
+  ?net_delay:Timebase.t ->
+  Mp.config ->
+  roll_call
+(** {!roll_call} restructured for scale: the roster's segments are split
+    into [shards] (default {!Ra_parallel.default_jobs}) contiguous runs,
+    one pool task per shard, each walking its devices sequentially and
+    reducing finished segments to their roots immediately. Requested
+    shard counts are clamped to the segment count — a segment is never
+    split — and the effective count is reported in [shards]. The verdict
+    partition, every counter and the fleet root are bit-identical to the
+    flat {!roll_call} for any [shards] and [jobs] combination. *)
 
 val attest_all : t -> ?net_delay:Timebase.t -> Mp.config -> roll_call
 (** {!roll_call} with [jobs:1] (kept for callers that want the sequential

@@ -43,6 +43,30 @@ let build hash ~leaves =
   done;
   t
 
+(* Root-only construction: one scratch level of digests, folded in place
+   level by level, so aggregating a million leaves allocates O(leaves)
+   digests instead of retaining a 2x node array for updates/proofs it
+   will never serve. Bit-identical to [root (build hash ~leaves)]. *)
+let root_of_leaves hash ~leaves =
+  let real_leaves = Array.length leaves in
+  if real_leaves = 0 then invalid_arg "Merkle.root_of_leaves: no leaves";
+  let size = next_pow2 real_leaves 1 in
+  let t = { hash; size; real_leaves; nodes = [||]; digests = 0 } in
+  let level =
+    Array.init size (fun i ->
+        let content = if i < real_leaves then leaves.(i) else Bytes.empty in
+        leaf_digest t ~index:i ~content)
+  in
+  let width = ref size in
+  while !width > 1 do
+    let w = !width / 2 in
+    for i = 0 to w - 1 do
+      level.(i) <- node_digest t level.(2 * i) level.((2 * i) + 1)
+    done;
+    width := w
+  done;
+  level.(0)
+
 let of_memory hash memory =
   build hash
     ~leaves:

@@ -14,6 +14,12 @@ val build : Ra_crypto.Algo.hash -> leaves:Bytes.t array -> t
 val of_memory : Ra_crypto.Algo.hash -> Ra_device.Memory.t -> t
 (** One leaf per block, over the current contents. *)
 
+val root_of_leaves : Ra_crypto.Algo.hash -> leaves:Bytes.t array -> Bytes.t
+(** [root (build hash ~leaves)] without retaining the tree: one scratch
+    digest level folded in place, for aggregation paths (fleet roots over
+    segment roots) that never need proofs or updates. Raises
+    [Invalid_argument] on an empty leaf array. *)
+
 val leaf_count : t -> int
 
 val root : t -> Bytes.t

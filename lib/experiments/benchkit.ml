@@ -136,7 +136,7 @@ let engine_events_metric ~budget =
 let fleet_metrics ?jobs () =
   let open Ra_core in
   let fleet =
-    Fleet.create ~master_secret:(Bytes.of_string "bench fleet master secret")
+    Fleet.create ~master_secret:(Bytes.of_string "bench fleet master secret") ()
   in
   let config =
     {
@@ -158,16 +158,126 @@ let fleet_metrics ?jobs () =
   let roll, roll_s =
     wall (fun () -> Fleet.roll_call fleet ?jobs Mp.default_config)
   in
+  (* Second roll call over the same (unchanged) fleet: every device's
+     per-block memo is warm, so [cache_hits] — pinned at zero on the cold
+     pass by construction — becomes a real, gate-able count: any memo
+     regression drops it and the exact comparison fails. *)
+  let warm, warm_s =
+    wall (fun () -> Fleet.roll_call fleet ?jobs Mp.default_config)
+  in
   [
     seconds_metric ~name:"fleet_roll_call_s" roll_s;
+    seconds_metric ~name:"fleet_warm_roll_call_s" warm_s;
     count_metric ~name:"fleet_clean" (List.length roll.Fleet.clean);
     count_metric ~name:"fleet_tampered" (List.length roll.Fleet.tampered);
     count_metric ~name:"fleet_digest_requests" roll.Fleet.digest_requests;
-    count_metric ~name:"fleet_cache_hits" roll.Fleet.cache_hits;
+    count_metric ~name:"fleet_cache_hits" warm.Fleet.cache_hits;
     count_metric ~name:"fleet_store_hits" roll.Fleet.store_hits;
     count_metric ~name:"fleet_blocks_hashed" roll.Fleet.hashed;
     count_metric ~name:"fleet_batch_hashed" roll.Fleet.batch_hashed;
     count_metric ~name:"fleet_distinct_blocks" roll.Fleet.distinct_blocks;
+    count_metric ~name:"fleet_warm_tampered" (List.length warm.Fleet.tampered);
+    count_metric ~name:"fleet_store_stripes"
+      (Ra_cache.Store.stripes (Fleet.store fleet));
+  ]
+
+(* Sharded roll call over a multi-segment virtual roster: 2.5 aggregation
+   segments, so the hierarchy (segment roots -> shard roots -> fleet root)
+   is genuinely exercised. [fleet_root_checks] counts re-runs at other
+   (shards, jobs) points whose fleet root and counters matched the
+   reference — the hierarchical-digest invariance, gated as an exact
+   metric. NOT shrunk in quick mode. *)
+let fleet_sharded_metrics ?jobs () =
+  let open Ra_core in
+  let devices = (2 * Fleet.segment_size) + Fleet.segment_size / 2 in
+  let build () =
+    let fleet =
+      Fleet.create ~master_secret:(Bytes.of_string "bench sharded fleet secret") ()
+    in
+    let config =
+      {
+        Ra_device.Device.default_config with
+        Ra_device.Device.blocks = 16;
+        block_size = 256;
+        modeled_block_bytes = 1024 * 1024;
+      }
+    in
+    for i = 0 to devices - 1 do
+      let tamper =
+        if i mod 500 = 250 then
+          Some
+            (fun d ->
+              let rng =
+                Ra_sim.Prng.split (Ra_sim.Engine.prng d.Ra_device.Device.engine)
+              in
+              ignore
+                (Ra_malware.Malware.install d ~rng ~block:5 ~priority:8
+                   Ra_malware.Malware.Static))
+        else None
+      in
+      Fleet.provision_virtual fleet (Printf.sprintf "shard-dev-%05d" i) ~config
+        ?tamper ()
+    done;
+    fleet
+  in
+  let signature (r : Fleet.roll_call) =
+    ( List.sort compare r.Fleet.clean,
+      List.sort compare r.Fleet.tampered,
+      r.Fleet.digest_requests,
+      r.Fleet.cache_hits,
+      r.Fleet.store_hits,
+      r.Fleet.hashed,
+      r.Fleet.batch_hashed,
+      r.Fleet.distinct_blocks )
+  in
+  let reference, sharded_s =
+    wall (fun () -> Fleet.sharded_roll_call (build ()) ?jobs ~shards:2 Mp.default_config)
+  in
+  let matches shards jobs =
+    let r = Fleet.sharded_roll_call (build ()) ~jobs ~shards Mp.default_config in
+    Bytes.equal r.Fleet.fleet_root reference.Fleet.fleet_root
+    && signature r = signature reference
+  in
+  let checks = [ matches 1 1; matches 3 2 ] in
+  [
+    seconds_metric ~name:"fleet_sharded_roll_call_s" sharded_s;
+    count_metric ~name:"fleet_shards" reference.Fleet.shards;
+    count_metric ~name:"fleet_sharded_tampered"
+      (List.length reference.Fleet.tampered);
+    count_metric ~name:"fleet_root_checks"
+      (List.length (List.filter Fun.id checks));
+  ]
+
+(* Million-device roll call, full mode only: wall-clock observations, never
+   exact — quick smoke runs must stay cheap, and compare.exe's exact gate
+   would otherwise flag them Missing_in_current. The counters at this scale
+   are instead guarded by the CI 100k sharded gate (ratool fleet
+   --check-jobs) and the sharded-vs-flat property tests. *)
+let fleet_million_metrics ?jobs () =
+  let devices = 1_000_000 in
+  let r = Fleet_roll.run ~devices ~seed:7 ~shards:8 ?jobs () in
+  [
+    {
+      name = "fleet_1m_roll_call_s";
+      value = r.Fleet_roll.roll_s;
+      unit_ = "s";
+      direction = Lower_is_better;
+      exact = false;
+    };
+    {
+      name = "fleet_1m_devices_per_s";
+      value = float_of_int devices /. r.Fleet_roll.roll_s;
+      unit_ = "devices/s";
+      direction = Higher_is_better;
+      exact = false;
+    };
+    {
+      name = "fleet_1m_provision_s";
+      value = r.Fleet_roll.provision_s;
+      unit_ = "s";
+      direction = Lower_is_better;
+      exact = false;
+    };
   ]
 
 (* Fleet-chaos convergence under the supervisor, 120 devices (every fault
@@ -343,6 +453,8 @@ let sim_metrics ?(quick = false) ?jobs () =
     seconds_metric ~name:"detection_rate_wall_s" detection_s;
   ]
   @ fleet_metrics ?jobs ()
+  @ fleet_sharded_metrics ?jobs ()
+  @ (if quick then [] else fleet_million_metrics ?jobs ())
   @ supervisor_metrics ?jobs ()
   @ erasmus_metrics ()
   @ journal_metrics ()

@@ -31,13 +31,29 @@ val crypto_metrics : ?quick:bool -> unit -> metric list
 val sim_metrics : ?quick:bool -> ?jobs:int -> unit -> metric list
 (** Engine events/s plus wall-times of the Table 1, chaos, SMARM-game and
     detection-rate drivers ([jobs] is forwarded to the parallel ports),
-    followed by {!fleet_metrics}, {!supervisor_metrics},
+    followed by {!fleet_metrics}, {!fleet_sharded_metrics},
+    {!fleet_million_metrics} (full mode only), {!supervisor_metrics},
     {!erasmus_metrics} and {!journal_metrics}. *)
 
 val fleet_metrics : ?jobs:int -> unit -> metric list
-(** 1000-device shared-firmware roll call: wall time plus exact verdict
-    and cache counters. Same size in quick and full mode so the exact
-    metrics reproduce everywhere. *)
+(** 1000-device shared-firmware roll call: cold wall time plus exact
+    verdict and cache counters, then a second {e warm} roll call over the
+    unchanged fleet whose memo hits back the [fleet_cache_hits] exact
+    metric (zero on a cold pass by construction; a real gate on the warm
+    one). Same size in quick and full mode so the exact metrics reproduce
+    everywhere. *)
+
+val fleet_sharded_metrics : ?jobs:int -> unit -> metric list
+(** Sharded roll call over a 2.5-segment virtual roster: wall time, exact
+    shard/verdict counts, and [fleet_root_checks] — re-runs at other
+    (shards, jobs) points whose fleet Merkle root and counters matched the
+    reference, gated exactly. Same size in quick and full mode. *)
+
+val fleet_million_metrics : ?jobs:int -> unit -> metric list
+(** Million-device sharded roll call via {!Fleet_roll}: wall-clock only
+    (roll seconds, devices/s, provision seconds), never exact — quick
+    smoke runs skip it, and exact counters at this scale are covered by
+    the CI [ratool fleet --check-jobs] gate instead. *)
 
 val supervisor_metrics : ?jobs:int -> unit -> metric list
 (** 120-device fleet-chaos convergence under the health supervisor: wall

@@ -108,7 +108,7 @@ let build ~devices ~seed ~max_rounds ~journal () =
     Ra_crypto.Sha256.digest
       (Bytes.of_string (Printf.sprintf "fleet-chaos master secret %d" seed))
   in
-  let fleet = Fleet.create ~master_secret:master in
+  let fleet = Fleet.create ~master_secret:master () in
   let ids =
     List.init devices (fun i ->
         let id = Printf.sprintf "dev-%05d" i in
@@ -248,14 +248,14 @@ let finish ~devices ~seed ~jobs ~max_rounds sup kinds report =
     violations = validate sup kinds report ~max_rounds;
   }
 
-let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) ?journal () =
+let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?shards ?(max_rounds = 20) ?journal () =
   (match journal with
   | Some j ->
     J.append j (campaign_event ~devices ~seed ~max_rounds);
     J.commit j
   | None -> ());
   let sup, kinds = build ~devices ~seed ~max_rounds ~journal () in
-  let report = Supervisor.run ~jobs ~min_rounds ~max_rounds sup in
+  let report = Supervisor.run ~jobs ?shards ~min_rounds ~max_rounds sup in
   (match journal with
   | Some j ->
     J.append j (campaign_end_event report);
@@ -266,7 +266,7 @@ let run ?(devices = 200) ?(seed = 7) ?(jobs = 1) ?(max_rounds = 20) ?journal () 
 (* --- crash / resume / replay -------------------------------------------- *)
 
 let record_killed ~disk ?(snapshot_every = 3) ?(devices = 200) ?(seed = 7)
-    ?(jobs = 1) ?(max_rounds = 20) ~kill_at_round () =
+    ?(jobs = 1) ?shards ?(max_rounds = 20) ~kill_at_round () =
   let j = J.create ~snapshot_every disk in
   J.append j (campaign_event ~devices ~seed ~max_rounds);
   J.commit j;
@@ -278,7 +278,7 @@ let record_killed ~disk ?(snapshot_every = 3) ?(devices = 200) ?(seed = 7)
       || Supervisor.rounds_run sup >= max_rounds
     then false
     else begin
-      Supervisor.round ~jobs sup;
+      Supervisor.round ~jobs ?shards sup;
       loop ()
     end
   in
@@ -300,7 +300,7 @@ let ( let* ) = Result.bind
    byte-compared against the recording), independently reconstruct the
    state from snapshot + deltas, and demand both roads end at the same
    bytes before continuing the campaign. *)
-let resume ~disk ?(jobs = 1) () =
+let resume ~disk ?(jobs = 1) ?shards () =
   let* r = J.recover disk in
   let events = r.J.events in
   let* devices, seed, max_rounds = parse_campaign events in
@@ -314,7 +314,7 @@ let resume ~disk ?(jobs = 1) () =
     let sup, kinds = build ~devices ~seed ~max_rounds ~journal:(Some vj) () in
     let base0 = Supervisor.serialize sup in
     for _ = 1 to rounds_done do
-      Supervisor.round ~jobs sup
+      Supervisor.round ~jobs ?shards sup
     done;
     let* () =
       Result.map_error
@@ -337,13 +337,13 @@ let resume ~disk ?(jobs = 1) () =
     let* () = Supervisor.load sup recovered in
     let rj = J.resume disk r ~keep in
     Supervisor.attach_journal sup rj;
-    let report = Supervisor.run ~jobs ~min_rounds ~max_rounds sup in
+    let report = Supervisor.run ~jobs ?shards ~min_rounds ~max_rounds sup in
     J.append rj (campaign_end_event report);
     J.commit rj;
     Ok (finish ~devices ~seed ~jobs ~max_rounds sup kinds report)
   end
 
-let replay ~disk ?(jobs = 1) () =
+let replay ~disk ?(jobs = 1) ?shards () =
   let* r = J.recover disk in
   let events = r.J.events in
   let* devices, seed, max_rounds = parse_campaign events in
@@ -363,7 +363,7 @@ let replay ~disk ?(jobs = 1) () =
   let sup, kinds = build ~devices ~seed ~max_rounds ~journal:(Some vj) () in
   let base0 = Supervisor.serialize sup in
   for _ = 1 to rounds_done do
-    Supervisor.round ~jobs sup
+    Supervisor.round ~jobs ?shards sup
   done;
   let report = Supervisor.report sup in
   J.append vj (campaign_end_event report);

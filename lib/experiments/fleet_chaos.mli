@@ -51,11 +51,15 @@ val run :
   ?devices:int ->
   ?seed:int ->
   ?jobs:int ->
+  ?shards:int ->
   ?max_rounds:int ->
   ?journal:Ra_journal.Journal.t ->
   unit ->
   result
-(** Defaults: 200 devices, seed 7, jobs 1, 20 rounds. With [journal], the
+(** Defaults: 200 devices, seed 7, jobs 1, 20 rounds. [shards] chunks
+    each round's parallel execute phase (see
+    {!Ra_supervisor.Supervisor.round}); results are identical for any
+    value. With [journal], the
     campaign is recorded: a "campaign" header (the three numbers that
     rebuild the world deterministically), every supervisor record (see
     {!Ra_supervisor.Supervisor.create}), and a "campaign-end" carrying
@@ -74,6 +78,7 @@ val record_killed :
   ?devices:int ->
   ?seed:int ->
   ?jobs:int ->
+  ?shards:int ->
   ?max_rounds:int ->
   kill_at_round:int ->
   unit ->
@@ -85,7 +90,11 @@ val record_killed :
     complete. *)
 
 val resume :
-  disk:Ra_journal.Disk.t -> ?jobs:int -> unit -> (result, string) Stdlib.result
+  disk:Ra_journal.Disk.t ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  (result, string) Stdlib.result
 (** Recover a killed campaign and finish it: re-execute the journaled
     prefix under a verify-mode journal (every re-emitted record is
     byte-compared against the recording), independently reconstruct the
@@ -96,7 +105,11 @@ val resume :
     the same campaign, for any [jobs]. *)
 
 val replay :
-  disk:Ra_journal.Disk.t -> ?jobs:int -> unit -> (result, string) Stdlib.result
+  disk:Ra_journal.Disk.t ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  (result, string) Stdlib.result
 (** Re-run a complete recorded campaign bit-identically: every record,
     including the final digest, is verified against the journal, and the
     snapshot/delta reconstruction is cross-checked against the executed

@@ -46,7 +46,8 @@ type config = {
 
 let default_config =
   {
-    time_allowlist = [ "lib/experiments/benchkit.ml"; "bench/" ];
+    time_allowlist =
+      [ "lib/experiments/benchkit.ml"; "lib/experiments/fleet_roll.ml"; "bench/" ];
     parallel_allowlist = [ "lib/parallel/"; "lib/cache/" ];
     interface_allowlist = [ "lib/crypto/digest_intf.ml" ];
     p2_paths = None;

@@ -175,13 +175,30 @@ let run_batch ~jobs n body =
   | Some (i, e, bt) -> raise (Task_error (i, e, bt))
   | None -> ()
 
-let parallel_init ?jobs n f =
+(* [chunk]: pool tasks claim contiguous runs of [chunk] indices instead of
+   single ones, so a million-element fleet posts n/chunk closures rather
+   than n. Within a chunk, indices run in ascending order on one domain;
+   each index is still evaluated exactly once into its own slot, so the
+   output is bit-identical to the unchunked (and sequential) run — only
+   the per-task claim overhead changes. *)
+let parallel_init ?jobs ?(chunk = 1) n f =
   if n < 0 then invalid_arg "Ra_parallel.parallel_init: negative length";
+  if chunk < 1 then invalid_arg "Ra_parallel.parallel_init: chunk < 1";
   let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
   if jobs = 1 || n <= 1 || running_inside_task () then Array.init n f
   else begin
     let out = Array.make n None in
-    (try run_batch ~jobs n (fun i -> out.(i) <- Some (f i))
+    let body =
+      if chunk = 1 then fun i -> out.(i) <- Some (f i)
+      else fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) - 1 in
+        for i = lo to hi do
+          out.(i) <- Some (f i)
+        done
+    in
+    let tasks = if chunk = 1 then n else (n + chunk - 1) / chunk in
+    (try run_batch ~jobs tasks body
      with Task_error (_, e, bt) -> Printexc.raise_with_backtrace e bt);
     Array.map
       (function
@@ -190,11 +207,11 @@ let parallel_init ?jobs n f =
       out
   end
 
-let parallel_map ?jobs f a =
-  parallel_init ?jobs (Array.length a) (fun i -> f a.(i))
+let parallel_map ?jobs ?chunk f a =
+  parallel_init ?jobs ?chunk (Array.length a) (fun i -> f a.(i))
 
-let parallel_list_map ?jobs f l =
-  Array.to_list (parallel_map ?jobs f (Array.of_list l))
+let parallel_list_map ?jobs ?chunk f l =
+  Array.to_list (parallel_map ?jobs ?chunk f (Array.of_list l))
 
 let seeded_init ?jobs ~seed n f =
   if n < 0 then invalid_arg "Ra_parallel.seeded_init: negative length";

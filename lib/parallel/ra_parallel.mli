@@ -28,14 +28,20 @@ val set_default_jobs : int -> unit
 (** Override the default for subsequent calls (the [--jobs] flag). Values
     below 1 are clamped to 1. *)
 
-val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val parallel_init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init n f] is [Array.init n f] computed on the pool.
     [f] must be safe to call from any domain; each index is evaluated
-    exactly once. Exceptions re-raise in the caller (lowest index wins). *)
+    exactly once. Exceptions re-raise in the caller (lowest index wins).
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    [chunk] (default 1) makes each pool task claim a contiguous run of
+    [chunk] indices, evaluated in ascending order on one domain — a
+    million-element fleet amortizes per-task claim overhead into n/chunk
+    closures. Results are bit-identical for any [chunk] and any [jobs].
+    Raises [Invalid_argument] when [chunk < 1]. *)
 
-val parallel_list_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_list_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!List.map}, preserving order. *)
 
 val seeded_init :

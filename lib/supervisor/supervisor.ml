@@ -636,16 +636,26 @@ let journal_round_end t =
     if Ra_journal.Journal.want_snapshot j ~round:t.round_no then
       Ra_journal.Journal.snapshot j ~round:t.round_no ~state:(serialize t)
 
-let round ?jobs t =
+let round ?jobs ?shards t =
   jemit t (E.make "round-start" [ ("round", E.I t.round_no) ]);
   let transitions0 = total_transitions t in
   let timeouts0 = t.timeouts in
   (* All journal records are emitted from the sequential plan and apply
      phases, in roster order — never from the parallel execute phase — so
-     the journal byte stream is identical for every [jobs] value. *)
+     the journal byte stream is identical for every [jobs] value.
+     [shards] groups the execute phase into that many contiguous chunks
+     (one pool task each) instead of one task per device; per-device
+     results land by index either way, so it moves scheduling overhead
+     only. *)
+  let n = Array.length t.roster in
+  let chunk =
+    match shards with
+    | None -> 1
+    | Some s -> max 1 ((n + max 1 s - 1) / max 1 s)
+  in
   let actions = Array.map (fun d -> plan t d) t.roster in
   let results =
-    Ra_parallel.parallel_init ?jobs (Array.length t.roster) (fun i ->
+    Ra_parallel.parallel_init ?jobs ~chunk n (fun i ->
         execute t t.roster.(i) actions.(i))
   in
   Array.iteri (fun i d -> apply_result t d results.(i)) t.roster;
@@ -749,12 +759,12 @@ let report t =
     counter_digest = digest;
   }
 
-let run ?jobs ?(min_rounds = 0) ?(max_rounds = 24) (t : t) =
+let run ?jobs ?shards ?(min_rounds = 0) ?(max_rounds = 24) (t : t) =
   let rec loop () =
     if (t.converged && t.round_no >= min_rounds) || t.round_no >= max_rounds then
       report t
     else begin
-      round ?jobs t;
+      round ?jobs ?shards t;
       loop ()
     end
   in

@@ -98,8 +98,11 @@ val note_gap_audit : t -> Ra_core.Fleet.device_id -> Ra_core.Erasmus.audit -> un
 
 val rounds_run : t -> int
 
-val round : ?jobs:int -> t -> unit
-(** One supervision round (plan / execute / apply). *)
+val round : ?jobs:int -> ?shards:int -> t -> unit
+(** One supervision round (plan / execute / apply). [shards] groups the
+    parallel execute phase into that many contiguous roster chunks (one
+    pool task each) rather than one task per device; results, counters
+    and the journal stream are bit-identical for any value. *)
 
 type report = {
   rounds : int;
@@ -127,7 +130,8 @@ type report = {
           jobs-invariance check compares these) *)
 }
 
-val run : ?jobs:int -> ?min_rounds:int -> ?max_rounds:int -> t -> report
+val run :
+  ?jobs:int -> ?shards:int -> ?min_rounds:int -> ?max_rounds:int -> t -> report
 (** Rounds until convergence or [max_rounds] (default 24). [min_rounds]
     (default 0) keeps supervising through early quiet rounds — a fleet
     whose faults are scheduled for later virtual time looks converged

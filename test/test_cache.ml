@@ -294,10 +294,59 @@ let test_store_batch_jobs_invariant () =
   check Alcotest.bool "store counters identical across jobs" true
     ((l1, c1, b1, d1) = run 4)
 
+(* --- striped store = flat store ------------------------------------------ *)
+
+(* Adversarial interleavings: racing domains submit overlapping batches
+   and single probes to a striped store and to a stripes:1 (single-mutex)
+   store. Striping only changes which lock guards which key, never what is
+   computed or counted, so results and every summed counter must match. *)
+let striped_ops_arbitrary =
+  let open QCheck.Gen in
+  let content =
+    map2 (fun tag len -> Bytes.make (1 + len) (Char.chr (65 + tag))) (int_bound 9)
+      (int_bound 9)
+  in
+  let batch = list_size (0 -- 8) content in
+  QCheck.make
+    ~print:(fun batches ->
+      String.concat " | "
+        (List.map
+           (fun b ->
+             String.concat ";"
+               (List.map (fun c -> Printf.sprintf "%S" (Bytes.to_string c)) b))
+           batches))
+    (list_size (1 -- 6) batch)
+
+let prop_striped_equals_flat =
+  QCheck.Test.make ~name:"striped store = flat store under racing batches"
+    ~count:60 striped_ops_arbitrary (fun batches ->
+      let run store =
+        let batches = Array.of_list (List.map Array.of_list batches) in
+        (* WHICH racing task computes a shared fresh content first (and so
+           sees the miss) is schedule-dependent — only the digests and the
+           counter totals are invariant, so that is what we compare. *)
+        let results =
+          Ra_parallel.parallel_init ~jobs:3 (Array.length batches) (fun i ->
+              if i mod 2 = 0 then Ra_cache.Store.digest_many store hash batches.(i)
+              else Array.map (Ra_cache.Store.digest store hash) batches.(i))
+        in
+        (Array.map (Array.map snd) results, store_counters store)
+      in
+      let striped = run (Ra_cache.Store.create ~stripes:8 ()) in
+      let flat = run (Ra_cache.Store.create ~stripes:1 ()) in
+      striped = flat)
+
+let test_stripe_rounding () =
+  check Alcotest.int "default" 16 (Ra_cache.Store.stripes (Ra_cache.Store.create ()));
+  check Alcotest.int "rounded up" 8 (Ra_cache.Store.stripes (Ra_cache.Store.create ~stripes:5 ()));
+  check Alcotest.int "clamped low" 1 (Ra_cache.Store.stripes (Ra_cache.Store.create ~stripes:0 ()));
+  check Alcotest.int "clamped high" 4096
+    (Ra_cache.Store.stripes (Ra_cache.Store.create ~stripes:1_000_000 ()))
+
 (* --- fleet roll call ----------------------------------------------------- *)
 
 let build_fleet () =
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "cache test master") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "cache test master") () in
   let config = { (small_config ()) with Device.blocks = 8 } in
   for i = 0 to 5 do
     ignore (Fleet.provision fleet (Printf.sprintf "dev-%d" i) ~config ())
@@ -325,6 +374,93 @@ let test_roll_call_jobs_invariant () =
   check Alcotest.bool "hit rate sane" true
     (Fleet.hit_rate rc1 > 0. && Fleet.hit_rate rc1 <= 1.)
 
+(* Counter-and-root signature of a roll call, minus the fields that
+   legitimately differ between entry points (shards, shard_roots). *)
+let rc_signature rc =
+  ( (rc.Fleet.clean, rc.Fleet.tampered),
+    ( rc.Fleet.digest_requests,
+      rc.Fleet.cache_hits,
+      rc.Fleet.store_hits,
+      rc.Fleet.hashed,
+      rc.Fleet.batch_hashed,
+      rc.Fleet.distinct_blocks ),
+    rc.Fleet.fleet_root )
+
+let test_virtual_equals_materialized () =
+  let build virtual_devices =
+    let fleet =
+      Fleet.create ~master_secret:(Bytes.of_string "cache test master") ()
+    in
+    let config = { (small_config ()) with Device.blocks = 8 } in
+    let tamper d =
+      ignore
+        (Malware.install d ~rng:(Prng.create ~seed:5) ~block:3 ~priority:7
+           Malware.Static)
+    in
+    for i = 0 to 5 do
+      let id = Printf.sprintf "dev-%d" i in
+      if virtual_devices then
+        Fleet.provision_virtual fleet id ~config
+          ?tamper:(if i = 2 then Some tamper else None)
+          ()
+      else begin
+        let d = Fleet.provision fleet id ~config () in
+        if i = 2 then tamper d
+      end
+    done;
+    fleet
+  in
+  let materialized = Fleet.roll_call (build false) ~jobs:2 Mp.default_config in
+  let virt = Fleet.roll_call (build true) ~jobs:2 Mp.default_config in
+  check (Alcotest.list Alcotest.string) "tampered" [ "dev-2" ] virt.Fleet.tampered;
+  check Alcotest.bool "virtual roster = materialized roster" true
+    (rc_signature materialized = rc_signature virt);
+  check Alcotest.bool "fleet root nonempty" true
+    (Bytes.length virt.Fleet.fleet_root > 0)
+
+(* Multi-segment fleet (> Fleet.segment_size devices) so the sharded path
+   actually merges shards and segment roots, not just degenerates to one. *)
+let build_multi_segment_fleet n =
+  let fleet =
+    Fleet.create ~stripes:8
+      ~master_secret:(Bytes.of_string "sharded roll call master") ()
+  in
+  let config = small_config () in
+  for i = 0 to n - 1 do
+    let tamper d =
+      ignore
+        (Malware.install d ~rng:(Prng.create ~seed:i) ~block:1 ~priority:7
+           Malware.Static)
+    in
+    Fleet.provision_virtual fleet
+      (Printf.sprintf "dev-%05d" i)
+      ~config
+      ?tamper:(if i mod 97 = 13 then Some tamper else None)
+      ()
+  done;
+  fleet
+
+let test_sharded_equals_flat () =
+  let n = (2 * Fleet.segment_size) + 150 in
+  let flat = Fleet.roll_call (build_multi_segment_fleet n) ~jobs:2 Mp.default_config in
+  check Alcotest.int "flat is one shard" 1 flat.Fleet.shards;
+  check Alcotest.int "some tampered" (((n - 14) / 97) + 1)
+    (List.length flat.Fleet.tampered);
+  List.iter
+    (fun (shards, jobs) ->
+      let rc =
+        Fleet.sharded_roll_call (build_multi_segment_fleet n) ~jobs ~shards
+          Mp.default_config
+      in
+      let label = Printf.sprintf "shards=%d jobs=%d" shards jobs in
+      check Alcotest.bool (label ^ " = flat") true
+        (rc_signature rc = rc_signature flat);
+      (* 3 segments: requested counts clamp to at most 3 *)
+      check Alcotest.int (label ^ " effective shards") (min shards 3) rc.Fleet.shards;
+      check Alcotest.int (label ^ " shard roots") rc.Fleet.shards
+        (Array.length rc.Fleet.shard_roots))
+    [ (1, 1); (2, 2); (3, 2); (8, 1) ]
+
 let () =
   Alcotest.run "ra_cache"
     [
@@ -348,9 +484,17 @@ let () =
           Alcotest.test_case "batch counters jobs-invariant" `Quick
             test_store_batch_jobs_invariant;
         ] );
+      ( "striping",
+        [
+          qtest prop_striped_equals_flat;
+          Alcotest.test_case "stripe rounding" `Quick test_stripe_rounding;
+        ] );
       ( "fleet",
         [
           Alcotest.test_case "roll call jobs-invariant" `Quick
             test_roll_call_jobs_invariant;
+          Alcotest.test_case "virtual = materialized" `Quick
+            test_virtual_equals_materialized;
+          Alcotest.test_case "sharded = flat" `Slow test_sharded_equals_flat;
         ] );
     ]

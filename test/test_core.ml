@@ -699,6 +699,21 @@ let test_merkle_update_equals_rebuild () =
   let rebuilt = Merkle.build Ra_crypto.Algo.SHA_256 ~leaves in
   check Alcotest.bytes "incremental = rebuild" (Merkle.root rebuilt) (Merkle.root tree)
 
+let test_merkle_root_of_leaves () =
+  let rng = Prng.create ~seed:43 in
+  (* sizes straddling the pow2 padding boundaries *)
+  List.iter
+    (fun n ->
+      let leaves = Array.init n (fun _ -> Prng.bytes rng 32) in
+      let tree = Merkle.build Ra_crypto.Algo.SHA_256 ~leaves in
+      check Alcotest.bytes
+        (Printf.sprintf "root_of_leaves = build root (n=%d)" n)
+        (Merkle.root tree)
+        (Merkle.root_of_leaves Ra_crypto.Algo.SHA_256 ~leaves))
+    [ 1; 2; 3; 4; 5; 8; 13; 16; 17; 31 ];
+  Alcotest.check_raises "empty" (Invalid_argument "Merkle.root_of_leaves: no leaves")
+    (fun () -> ignore (Merkle.root_of_leaves Ra_crypto.Algo.SHA_256 ~leaves:[||]))
+
 let test_merkle_proofs () =
   let leaves = Array.init 11 (fun i -> Bytes.make 16 (Char.chr (48 + i))) in
   let tree = Merkle.build Ra_crypto.Algo.SHA_256 ~leaves in
@@ -1085,18 +1100,18 @@ let test_swatt_jitter_erodes_detection () =
 (* --- Fleet -------------------------------------------------------------------------------- *)
 
 let test_fleet_key_derivation () =
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") () in
   let ka = Fleet.derive_key fleet "sensor-a" in
   let kb = Fleet.derive_key fleet "sensor-b" in
   check Alcotest.int "32-byte keys" 32 (Bytes.length ka);
   check Alcotest.bool "per-device separation" false (Bytes.equal ka kb);
   check Alcotest.bytes "deterministic" ka (Fleet.derive_key fleet "sensor-a");
-  let other = Fleet.create ~master_secret:(Bytes.of_string "other-master") in
+  let other = Fleet.create ~master_secret:(Bytes.of_string "other-master") () in
   check Alcotest.bool "master separation" false
     (Bytes.equal ka (Fleet.derive_key other "sensor-a"))
 
 let test_fleet_attest_all () =
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 128; blocks = 8 }
   in
@@ -1113,7 +1128,7 @@ let test_fleet_attest_all () =
   check (Alcotest.list Alcotest.string) "tampered devices" [ "bravo" ] roll.Fleet.tampered
 
 let test_fleet_duplicate_rejected () =
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "m") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "m") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 128; blocks = 4 }
   in
@@ -1124,7 +1139,7 @@ let test_fleet_duplicate_rejected () =
 let test_fleet_cross_device_key_rejected () =
   (* a report MAC'd with device A's key must not verify under device B's
      verifier, even with identical firmware configuration *)
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "fleet-master") () in
   let config =
     { Ra_device.Device.default_config with Ra_device.Device.block_size = 128; blocks = 8 }
   in
@@ -1172,7 +1187,7 @@ let test_erasmus_validation () =
         (Erasmus.start device { Erasmus.default_config with Erasmus.capacity = 0 }))
 
 let test_fleet_unknown_id () =
-  let fleet = Fleet.create ~master_secret:(Bytes.of_string "m") in
+  let fleet = Fleet.create ~master_secret:(Bytes.of_string "m") () in
   Alcotest.check_raises "unknown device" Not_found (fun () ->
       ignore (Fleet.device fleet "ghost"))
 
@@ -1306,6 +1321,7 @@ let () =
         [
           Alcotest.test_case "merkle basics" `Quick test_merkle_basics;
           Alcotest.test_case "update = rebuild" `Quick test_merkle_update_equals_rebuild;
+          Alcotest.test_case "root_of_leaves = build" `Quick test_merkle_root_of_leaves;
           Alcotest.test_case "proofs" `Quick test_merkle_proofs;
           Alcotest.test_case "clean & dirty rounds" `Quick test_incremental_clean_and_dirty;
           Alcotest.test_case "detects malware" `Quick test_incremental_detects_malware;

@@ -3,6 +3,7 @@
    usable through nesting and task exceptions. *)
 
 let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
 
 let test_init_matches_sequential () =
   let seq = Array.init 257 (fun i -> (i * 31) mod 97) in
@@ -73,6 +74,27 @@ let test_chaos_jobs_invariant () =
   in
   check Alcotest.string "chaos summary bytes" (run 1) (run 4)
 
+(* Satellite: ?chunk only changes how indices are grouped into pool
+   tasks, never what lands where. *)
+let prop_chunked_equals_unchunked =
+  QCheck.Test.make ~name:"chunked init = unchunked init, any n/chunk/jobs"
+    ~count:100
+    QCheck.(triple (int_bound 200) (int_range 1 64) (int_range 1 4))
+    (fun (n, chunk, jobs) ->
+      let f i = (i * 2654435761) lxor (i lsl 7) in
+      let plain = Ra_parallel.parallel_init ~jobs n f in
+      let chunked = Ra_parallel.parallel_init ~jobs ~chunk n f in
+      plain = Array.init n f && chunked = plain)
+
+let test_chunk_validation () =
+  (try
+     ignore (Ra_parallel.parallel_init ~jobs:2 ~chunk:0 4 Fun.id);
+     Alcotest.fail "chunk 0 accepted"
+   with Invalid_argument _ -> ());
+  (* chunk larger than n degenerates to one task *)
+  let a = Ra_parallel.parallel_init ~jobs:4 ~chunk:1000 5 Fun.id in
+  check (Alcotest.array Alcotest.int) "oversized chunk" [| 0; 1; 2; 3; 4 |] a
+
 let test_default_jobs_override () =
   let before = Ra_parallel.default_jobs () in
   check Alcotest.bool "at least one" true (before >= 1);
@@ -90,6 +112,8 @@ let () =
           Alcotest.test_case "map order" `Quick test_map_preserves_order;
           Alcotest.test_case "nested degrades" `Quick test_nested_call_degrades;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
+          qtest prop_chunked_equals_unchunked;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_override;
         ] );
       ( "determinism",

@@ -136,7 +136,7 @@ let small_device_config =
 
 let make_fleet n =
   let fleet =
-    Fleet.create ~master_secret:(Bytes.of_string "supervisor test master secret")
+    Fleet.create ~master_secret:(Bytes.of_string "supervisor test master secret") ()
   in
   let ids =
     List.init n (fun i ->
