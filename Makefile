@@ -1,4 +1,4 @@
-.PHONY: build test lint lint-update chaos fleet fleet-chaos replay check bench bench-json bench-check clean
+.PHONY: build test lint lint-update chaos fleet fleet-chaos replay serve server-chaos server-kill-gate check bench bench-json bench-check clean
 
 build:
 	dune build
@@ -48,7 +48,26 @@ replay: build
 	  --kill-at-round 5 --resume --check-jobs 1 --journal _build/fleet-chaos-journal
 	dune exec bin/ratool.exe -- replay --journal _build/fleet-chaos-journal/j4
 
-check: build test lint chaos fleet fleet-chaos replay
+# Run the attestation control plane on localhost with a journal under
+# _build (kill -9 it and re-run: it restarts through Journal.restart).
+# Drive it from another shell with `dune exec bin/ratool.exe -- loadgen`.
+serve: build
+	dune exec bin/ratool.exe -- serve --dir _build/ra-server
+
+# The control-plane chaos gate, in process: seeded campaigns over the
+# simulated network under torn writes / stalls / resets / corruption with
+# a kill -9 mid-ingest; asserts bit-identical recovery, convergence via
+# retry/backoff, and per-seed + cross-jobs determinism.
+server-chaos: build
+	dune exec bin/ratool.exe -- server-chaos --trials 5
+
+# The real-socket kill gate: start `ratool serve`, run loadgen against
+# it, kill -9 the server mid-ingest, restart it, and require the
+# recovered fleet root and counters to match an unkilled reference run.
+server-kill-gate: build
+	sh scripts/server_kill_gate.sh
+
+check: build test lint chaos fleet fleet-chaos replay server-chaos
 
 # Full harness: regenerate every table/figure + Bechamel microbenchmarks.
 bench: build

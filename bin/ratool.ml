@@ -1057,6 +1057,152 @@ let run_all () seed trials =
   print_newline ();
   run_fleet_demo ()
 
+(* --- attestation server over TCP ----------------------------------------- *)
+
+let port_arg =
+  Arg.(
+    value & opt int 7411
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port of the attestation server.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind/connect (IPv4 literal).")
+
+let server_devices_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Fleet size. Server and load generator derive the same roster and \
+           keys from (devices, seed) — keep the two invocations in agreement.")
+
+let reports_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "reports" ] ~docv:"R" ~doc:"Attestation reports per device.")
+
+let serve_cmd =
+  let doc =
+    "Run the attestation control plane: a crash-tolerant TCP server with a \
+     bounded ingest queue (overload sheds typed Busy frames), routed \
+     fleet-health/quarantine/root endpoints, and every accepted report \
+     journaled before acknowledgement. If $(b,--dir) holds a journal, the \
+     server restarts through Journal.restart — kill -9 it freely."
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "_server"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Journal directory (created if missing).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:"Bounded queue depth; submissions beyond it shed with Busy.")
+  in
+  let fresh_arg =
+    Arg.(
+      value & flag
+      & info [ "fresh" ]
+          ~doc:"Discard any existing journal instead of recovering from it.")
+  in
+  let run () host port dir devices seed capacity fresh =
+    if capacity < 1 then `Error (true, "--capacity must be at least 1")
+    else if devices < 1 then `Error (true, "--devices must be at least 1")
+    else
+      Ra_server.Tcp.serve ~host ~port ~dir
+        ~config:{ Ra_server.Core.devices; seed; capacity }
+        ~fresh ()
+  in
+  let info = Cmd.info "serve" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ jobs_term $ host_arg $ port_arg $ dir_arg
+       $ server_devices_arg $ seed_arg $ capacity_arg $ fresh_arg))
+
+let loadgen_cmd =
+  let doc =
+    "Drive a deterministic seeded attestation campaign against a running \
+     server ($(b,ratool serve)): one connection per device, RFC 6298 \
+     retry/backoff on Busy and timeouts, reconnect-with-backoff across \
+     server restarts. Prints client and server counters, throughput, and \
+     the final fleet Merkle root; fails unless every report is acknowledged \
+     and the verdict table matches the plan's infected set."
+  in
+  let run () host port devices seed reports =
+    match
+      Ra_server.Tcp.run_campaign ~host ~port ~devices ~seed
+        ~reports_per_device:reports ()
+    with
+    | Error e -> `Error (false, "loadgen: " ^ e)
+    | Ok c ->
+        print_string (Ra_server.Tcp.render_campaign c);
+        let expected = Ra_server.Loadgen.expected_tampered ~devices in
+        if c.Ra_server.Tcp.acked <> devices * reports then begin
+          prerr_endline "ratool loadgen: campaign did not retire every report";
+          exit 1
+        end
+        else if c.Ra_server.Tcp.tampered <> expected then begin
+          Printf.eprintf
+            "ratool loadgen: verdict table shows %d tampered devices, plan \
+             infected %d\n"
+            c.Ra_server.Tcp.tampered expected;
+          exit 1
+        end
+        else `Ok ()
+  in
+  let info = Cmd.info "loadgen" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ jobs_term $ host_arg $ port_arg $ server_devices_arg
+       $ seed_arg $ reports_arg))
+
+let server_chaos_cmd =
+  let doc =
+    "End-to-end chaos for the control plane, in process: seeded loadgen \
+     campaigns over a simulated network under torn writes, stalls, \
+     mid-frame resets and corruption, with a kill -9 injected mid-ingest. \
+     Asserts that the restarted campaign converges to the exact state of an \
+     unkilled fault-free run (bit-identical fleet root, identical accepted \
+     count and verdict split) and that outcomes are deterministic per seed \
+     and invariant across $(b,--jobs)."
+  in
+  let sc_devices_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "devices" ] ~docv:"N" ~doc:"Fleet size per trial.")
+  in
+  let sc_capacity_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:"Queue depth (small enough that bursts must shed).")
+  in
+  let run () seed trials devices reports capacity =
+    if trials < 1 then `Error (true, "--trials must be at least 1")
+    else begin
+      let report =
+        Ra_server.Server_chaos.run ~trials ~devices ~reports_per_device:reports
+          ~capacity ~seed ()
+      in
+      print_string (Ra_server.Server_chaos.render report);
+      if Ra_server.Server_chaos.ok report then `Ok ()
+      else begin
+        prerr_endline "ratool server-chaos: recovery invariants violated";
+        exit 1
+      end
+    end
+  in
+  let info = Cmd.info "server-chaos" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ jobs_term $ seed_arg $ trials_arg 5 $ sc_devices_arg
+       $ reports_arg $ sc_capacity_arg))
+
 let all_cmd =
   let info = Cmd.info "all" ~doc:"Run every experiment" in
   Cmd.v info Term.(const run_all $ jobs_term $ seed_arg $ trials_arg 40)
@@ -1090,6 +1236,9 @@ let main =
       chaos_cmd;
       fleet_chaos_cmd;
       replay_cmd;
+      serve_cmd;
+      loadgen_cmd;
+      server_chaos_cmd;
       bench_cmd;
       all_cmd;
     ]

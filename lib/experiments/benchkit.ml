@@ -424,6 +424,48 @@ let journal_metrics () =
       (match recovery.Journal.damage with Some _ -> 1 | None -> 0);
   ]
 
+(* Attestation control plane over the simulated network: one seeded
+   campaign under the default stream-fault mix with a kill -9 mid-ingest,
+   and one fault-free run for the ingest rate. The counters are exact —
+   a campaign outcome is a pure function of the seed (property-tested in
+   test_server.ml) — so the comparison gate checks them for equality;
+   only the reports/s wall metric carries host noise. *)
+let server_metrics ?jobs () =
+  let module N = Ra_server.Netsim in
+  let chaos_config =
+    {
+      N.default with
+      N.devices = 48;
+      reports_per_device = 4;
+      capacity = 12;
+      seed = 7;
+      crash_at = Some 60;
+    }
+  in
+  let run config =
+    match N.run ?jobs config with
+    | Ok o -> o
+    | Error e -> failwith ("server_metrics: " ^ e)
+  in
+  let chaos = run chaos_config in
+  let clean_config =
+    { chaos_config with N.faults = Ra_faults.Stream_faults.ideal; crash_at = None }
+  in
+  let clean, clean_s = wall (fun () -> run clean_config) in
+  [
+    count_metric ~name:"server_accepted" chaos.N.counters.Ra_server.Wire.accepted;
+    count_metric ~name:"server_shed" chaos.N.counters.Ra_server.Wire.shed;
+    count_metric ~name:"server_recovered"
+      chaos.N.counters.Ra_server.Wire.recovered;
+    {
+      name = "server_reports_s";
+      value = float_of_int clean.N.acked /. clean_s;
+      unit_ = "reports/s";
+      direction = Higher_is_better;
+      exact = false;
+    };
+  ]
+
 let sim_metrics ?(quick = false) ?jobs () =
   let budget = if quick then 0.15 else 1.0 in
   let table1_trials = if quick then 2 else 10 in
@@ -458,6 +500,7 @@ let sim_metrics ?(quick = false) ?jobs () =
   @ supervisor_metrics ?jobs ()
   @ erasmus_metrics ()
   @ journal_metrics ()
+  @ server_metrics ?jobs ()
 
 (* --- JSON emit ----------------------------------------------------------- *)
 

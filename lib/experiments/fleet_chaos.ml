@@ -299,15 +299,21 @@ let ( let* ) = Result.bind
 (* Re-execute the journaled prefix in verify mode (each re-emitted record
    byte-compared against the recording), independently reconstruct the
    state from snapshot + deltas, and demand both roads end at the same
-   bytes before continuing the campaign. *)
+   bytes before continuing the campaign. The recover -> choose consistency
+   point -> validate -> resume skeleton is Journal.restart — the same
+   entry point the attestation server restarts through — with all the
+   fleet-chaos-specific verification living in the [validate] callback. *)
 let resume ~disk ?(jobs = 1) ?shards () =
-  let* r = J.recover disk in
-  let events = r.J.events in
-  let* devices, seed, max_rounds = parse_campaign events in
-  let rounds_done, keep = Supervisor.Recovery.completed_rounds events in
-  if rounds_done = 0 then
-    Error "no completed round in the journal; nothing to resume"
-  else begin
+  let ctx = ref None in
+  let validate r ~keep =
+    let events = r.J.events in
+    let* devices, seed, max_rounds = parse_campaign events in
+    let rounds_done, _ = Supervisor.Recovery.completed_rounds events in
+    let* () =
+      if rounds_done = 0 then
+        Error "no completed round in the journal; nothing to resume"
+      else Ok ()
+    in
     let prefix = Array.sub events 0 keep in
     let vj = J.verifier prefix in
     J.append vj (campaign_event ~devices ~seed ~max_rounds);
@@ -335,13 +341,19 @@ let resume ~disk ?(jobs = 1) ?shards () =
            supervisor"
     in
     let* () = Supervisor.load sup recovered in
-    let rj = J.resume disk r ~keep in
+    ctx := Some (sup, kinds, devices, seed, max_rounds);
+    Ok ()
+  in
+  let keep r = snd (Supervisor.Recovery.completed_rounds r.J.events) in
+  let* _, rj = J.restart ~validate disk ~keep in
+  match !ctx with
+  | None -> Error "restart validated but produced no supervisor (bug)"
+  | Some (sup, kinds, devices, seed, max_rounds) ->
     Supervisor.attach_journal sup rj;
     let report = Supervisor.run ~jobs ?shards ~min_rounds ~max_rounds sup in
     J.append rj (campaign_end_event report);
     J.commit rj;
     Ok (finish ~devices ~seed ~jobs ~max_rounds sup kinds report)
-  end
 
 let replay ~disk ?(jobs = 1) ?shards () =
   let* r = J.recover disk in

@@ -182,6 +182,25 @@ let resume ?(snapshot_every = 3) disk recovery ~keep =
   disk.Disk.sync wal_file;
   Record { disk; snapshot_every; next_seq = keep + 1 }
 
+let restart ?snapshot_every ?validate disk ~keep =
+  match recover disk with
+  | Error _ as e -> e
+  | Ok recovery -> (
+      let k = keep recovery in
+      if k < 0 || k > Array.length recovery.events then
+        Error
+          (Printf.sprintf "restart: consistency point %d outside log of %d event(s)"
+             k (Array.length recovery.events))
+      else
+        let checked =
+          match validate with
+          | None -> Ok ()
+          | Some check -> check recovery ~keep:k
+        in
+        match checked with
+        | Error _ as e -> e
+        | Ok () -> Ok (recovery, resume ?snapshot_every disk recovery ~keep:k))
+
 let verifier recorded = Verify { recorded; pos = 0; divergence = None }
 
 let verified t =

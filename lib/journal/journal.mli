@@ -68,6 +68,20 @@ val resume : ?snapshot_every:int -> Disk.t -> recovery -> keep:int -> t
     uncommitted suffix past the chosen consistency point) and continues
     the sequence numbering from [keep + 1]. *)
 
+val restart :
+  ?snapshot_every:int ->
+  ?validate:(recovery -> keep:int -> (unit, string) result) ->
+  Disk.t ->
+  keep:(recovery -> int) ->
+  (recovery * t, string) result
+(** The one restart path every consumer shares: {!recover}, choose a
+    consistency point with [keep] (e.g. the last completed round, or the
+    whole log), optionally [validate] the kept prefix (replay
+    verification, state reconstruction), then {!resume} there. [Error]
+    when there is no journal, when [keep] points outside the log, or when
+    [validate] rejects — in which case the WAL is left untouched, so a
+    failed restart can be inspected. *)
+
 val verifier : Event.t array -> t
 (** A verify-mode journal over a recorded event stream. Recorded
     ["snapshot"] markers are skipped automatically, since a replay does

@@ -37,6 +37,9 @@ type config = {
   interface_allowlist : string list;
       (* .ml files excused from rule I even though they are not
          module-type-only *)
+  unix_allowlist : string list;
+      (* path prefixes allowed to make Unix syscalls: the socket shell and
+         the journal's file backend; everything else must stay simulated *)
   p2_paths : string list option;
       (* None: rule P2 applies everywhere outside [parallel_allowlist];
          Some prefixes: only under these (the Ra_parallel-reachable set) *)
@@ -47,9 +50,15 @@ type config = {
 let default_config =
   {
     time_allowlist =
-      [ "lib/experiments/benchkit.ml"; "lib/experiments/fleet_roll.ml"; "bench/" ];
+      [
+        "lib/experiments/benchkit.ml";
+        "lib/experiments/fleet_roll.ml";
+        "lib/server/tcp.ml";
+        "bench/";
+      ];
     parallel_allowlist = [ "lib/parallel/"; "lib/cache/" ];
     interface_allowlist = [ "lib/crypto/digest_intf.ml" ];
+    unix_allowlist = [ "lib/server/tcp.ml"; "lib/journal/disk.ml" ];
     p2_paths = None;
     comment_reach = 3;
   }
@@ -143,6 +152,17 @@ let check_ident ctx path loc =
         (Printf.sprintf
            "wall-clock read %s outside the benchmark allowlist: simulated \
             components must take time from Engine.now"
+           token)
+  (* after D2: time reads already have their own diagnosis; every other
+     Unix value is a live syscall and belongs in the socket shell *)
+  | "Unix" :: _ :: _ ->
+    if not (path_matches ctx.cfg.unix_allowlist ctx.file) then
+      raise_raw ctx "P3" loc token
+        (Printf.sprintf
+           "syscall %s outside lib/server/tcp.ml and the journal's file \
+            backend: sockets, processes and file descriptors break the \
+            deterministic-simulation contract — route I/O through the \
+            Tcp shell or the Disk abstraction"
            token)
   | [ "Hashtbl"; "iter" ] ->
     raise_raw ctx "D3" loc token

@@ -7,7 +7,10 @@
       escaping without a sort at the site.
     - {b P parallel-safety}: P1 [Domain]/[Mutex]/[Atomic]/... outside
       [lib/parallel] + [lib/cache], P2 module-level mutable state in code
-      reachable from [Ra_parallel] task closures.
+      reachable from [Ra_parallel] task closures, P3 [Unix] syscalls
+      outside the socket shell ([lib/server/tcp.ml]) and the journal's
+      file backend ([lib/journal/disk.ml]) — wall-clock reads are D2's,
+      everything else [Unix] is P3's.
     - {b U unsafe audit}: U1 [unsafe_*] access in a function without a
       [(* bounds: ... *)] justification, U2 an unsafe-using module without
       a [(* cross-check: ... *)] naming its reference implementation.
@@ -34,6 +37,9 @@ type config = {
   time_allowlist : string list;
   parallel_allowlist : string list;
   interface_allowlist : string list;
+  unix_allowlist : string list;
+      (** path prefixes where [Unix] syscalls are the point (rule P3):
+          the socket shell and the journal's file backend *)
   p2_paths : string list option;
       (** [None]: P2 applies everywhere outside [parallel_allowlist];
           [Some prefixes]: only under these (the reachable set from

@@ -1,0 +1,383 @@
+open Ra_sim
+open Ra_core
+open Ra_faults
+
+(* The simulated network: loadgen clients driving a Core over virtual
+   byte streams with Stream_faults damage, in discrete steps. No socket,
+   no clock, no thread — the whole campaign (every tear, stall, reset,
+   shed Busy, retry and crash) is a pure function of the config, which is
+   what lets server-chaos assert determinism per seed and invariance
+   across --jobs, properties the real-TCP path can only approximate. *)
+
+type config = {
+  devices : int;
+  reports_per_device : int;
+  seed : int;
+  capacity : int;
+  drain_every : int;  (** steps between queue drains *)
+  faults : Stream_faults.config;
+  crash_at : int option;  (** kill -9 the server at this step *)
+  max_steps : int;
+}
+
+let default =
+  {
+    devices = 24;
+    reports_per_device = 4;
+    seed = 7;
+    capacity = 8;
+    drain_every = 3;
+    faults = Stream_faults.default;
+    crash_at = None;
+    max_steps = 20_000;
+  }
+
+type outcome = {
+  counters : Wire.counters;
+  root : Bytes.t;
+  tampered : int;  (** devices the verdict table ended Tampered *)
+  clean : int;
+  acked : int;  (** client-side: items retired by an Ack *)
+  retries : int;  (** client-side retransmissions *)
+  busy : int;  (** Busy frames clients absorbed *)
+  dead_conns : int;  (** connections lost to resets/corruption/crash *)
+  restarts : int;
+  steps : int;
+}
+
+(* One step of virtual time ~ 10 ms for the RTO arithmetic. *)
+let step_ns = 10_000_000
+
+let steps_of_rto rto = max 1 (rto / step_ns)
+
+(* --- connections --------------------------------------------------------- *)
+
+type chunk = { due : int; data : Bytes.t; kills : bool }
+
+type conn = {
+  cid : int;
+  frng : Prng.t;  (* fault draws, both directions *)
+  mutable alive : bool;
+  server_reader : Frame.Reader.t;
+  client_reader : Frame.Reader.t;
+  mutable to_server : chunk list;  (* newest first; delivered oldest first *)
+  mutable to_client : chunk list;
+}
+
+type client = {
+  idx : int;
+  mutable todo : Loadgen.item list;
+  rtt : Rtt.t;
+  mutable conn : conn option;
+  mutable inflight : (int * int * bool) option;  (* seq, sent at, retransmitted *)
+  mutable head_attempts : int;  (* transmissions of the current head item *)
+  mutable deadline : int;
+  mutable wait_until : int;
+  mutable retries : int;
+  mutable busy : int;
+  mutable acked : int;
+}
+
+type sim = {
+  config : config;
+  store : Ra_journal.Disk.Mem.store;
+  disk : Ra_journal.Disk.t;
+  mutable core : Core.t;
+  conn_rng : Prng.t;  (* split per connection, in creation order *)
+  crash_rng : Prng.t;
+  clients : client array;
+  mutable conns : conn list;  (* live first-class handles, newest first *)
+  mutable next_cid : int;
+  mutable now : int;
+  mutable dead_conns : int;
+  mutable restarts : int;
+}
+
+let new_conn t =
+  let c =
+    {
+      cid = t.next_cid;
+      frng = Prng.split t.conn_rng;
+      alive = true;
+      server_reader = Frame.Reader.create ();
+      client_reader = Frame.Reader.create ();
+      to_server = [];
+      to_client = [];
+    }
+  in
+  t.next_cid <- t.next_cid + 1;
+  t.conns <- c :: t.conns;
+  c
+
+let kill_conn t c =
+  if c.alive then begin
+    c.alive <- false;
+    c.to_server <- [];
+    c.to_client <- [];
+    t.dead_conns <- t.dead_conns + 1
+  end
+
+(* Queue one framed write onto a direction, through the fault model. *)
+let send t c ~to_server payload =
+  if c.alive then begin
+    let frame = Frame.seal_stream payload in
+    let n = Bytes.length frame in
+    let push chunk =
+      if to_server then c.to_server <- chunk :: c.to_server
+      else c.to_client <- chunk :: c.to_client
+    in
+    match Stream_faults.draw c.frng t.config.faults ~len:n with
+    | Stream_faults.Deliver -> push { due = t.now + 1; data = frame; kills = false }
+    | Stream_faults.Tear k ->
+        push { due = t.now + 1; data = Bytes.sub frame 0 k; kills = false };
+        push { due = t.now + 2; data = Bytes.sub frame k (n - k); kills = false }
+    | Stream_faults.Stall steps ->
+        push { due = t.now + 1 + steps; data = frame; kills = false }
+    | Stream_faults.Reset_after k ->
+        push { due = t.now + 1; data = Bytes.sub frame 0 k; kills = true }
+    | Stream_faults.Corrupt_at i ->
+        let bad = Bytes.copy frame in
+        Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 0x40));
+        push { due = t.now + 1; data = bad; kills = false }
+  end
+
+(* Deliver every chunk that is due on one direction; returns whether the
+   connection must die once the delivered bytes are in (reset). *)
+let deliver_due t c ~to_server =
+  let pending = if to_server then c.to_server else c.to_client in
+  let pending = List.rev pending in  (* oldest first *)
+  let due, later = List.partition (fun ch -> ch.due <= t.now) pending in
+  let later = List.rev later in
+  if to_server then c.to_server <- later else c.to_client <- later;
+  let reader = if to_server then c.server_reader else c.client_reader in
+  List.fold_left
+    (fun kills ch ->
+      Frame.Reader.feed reader ch.data;
+      kills || ch.kills)
+    false due
+
+(* --- server side --------------------------------------------------------- *)
+
+let server_step t =
+  List.iter
+    (fun c ->
+      if c.alive then begin
+        let reset = deliver_due t c ~to_server:true in
+        let rec pump () =
+          match Frame.Reader.next c.server_reader with
+          | Frame.Reader.Await -> ()
+          | Frame.Reader.Corrupt _ -> kill_conn t c
+          | Frame.Reader.Frame payload ->
+              (match Wire.decode_request payload with
+              | Error msg -> send t c ~to_server:false (Wire.encode_response (Wire.Rejected msg))
+              | Ok req ->
+                  let resp = Core.handle t.core req in
+                  send t c ~to_server:false (Wire.encode_response resp));
+              if c.alive then pump ()
+        in
+        pump ();
+        if reset then kill_conn t c
+      end)
+    (List.rev t.conns)
+
+let crash t =
+  Ra_journal.Disk.Mem.crash ~rng:t.crash_rng t.store;
+  List.iter (fun c -> kill_conn t c) t.conns;
+  t.conns <- [];
+  match Core.recover t.disk with
+  | Ok core ->
+      t.core <- core;
+      t.restarts <- t.restarts + 1;
+      Ok ()
+  | Error e -> Error ("restart after crash failed: " ^ e)
+
+(* --- client side --------------------------------------------------------- *)
+
+let client_conn t cl =
+  match cl.conn with
+  | Some c when c.alive -> c
+  | _ ->
+      let c = new_conn t in
+      cl.conn <- Some c;
+      c
+
+let send_head t cl =
+  match cl.todo with
+  | [] -> ()
+  | item :: _ ->
+      (* anything beyond the first transmission of this item is a
+         retransmission: Karn's rule bars its Ack from feeding an RTT
+         sample, and the campaign counts it *)
+      let re = cl.head_attempts > 0 in
+      let c = client_conn t cl in
+      send t c ~to_server:true (Loadgen.submit_payload item);
+      cl.head_attempts <- cl.head_attempts + 1;
+      cl.inflight <- Some (item.Loadgen.seq, t.now, re);
+      cl.deadline <- t.now + steps_of_rto (Rtt.rto cl.rtt);
+      if re then cl.retries <- cl.retries + 1
+
+let client_absorb t cl =
+  match cl.conn with
+  | None -> ()
+  | Some c ->
+      if c.alive then begin
+        let reset = deliver_due t c ~to_server:false in
+        let rec pump () =
+          match Frame.Reader.next c.client_reader with
+          | Frame.Reader.Await -> ()
+          | Frame.Reader.Corrupt _ -> kill_conn t c
+          | Frame.Reader.Frame payload ->
+              (match (Wire.decode_response payload, cl.inflight, cl.todo) with
+              | Ok (Wire.Ack { seq; _ }), Some (fseq, sent, re), item :: rest
+                when seq = fseq && seq = item.Loadgen.seq ->
+                  if not re then Rtt.observe cl.rtt ((t.now - sent) * step_ns);
+                  Rtt.note_success cl.rtt;
+                  cl.todo <- rest;
+                  cl.inflight <- None;
+                  cl.head_attempts <- 0;
+                  cl.acked <- cl.acked + 1;
+                  cl.wait_until <- t.now
+              | Ok (Wire.Busy _), Some _, _ ->
+                  cl.busy <- cl.busy + 1;
+                  Rtt.backoff cl.rtt;
+                  cl.inflight <- None;
+                  cl.wait_until <- t.now + steps_of_rto (Rtt.rto cl.rtt)
+              | Ok (Wire.Rejected _), Some _, _ ->
+                  (* permanent; drop the item rather than loop forever
+                     (never hit by a well-formed campaign) *)
+                  cl.todo <- (match cl.todo with [] -> [] | _ :: r -> r);
+                  cl.inflight <- None;
+                  cl.head_attempts <- 0
+              | _ -> () (* stale ack for a retired item, or unsolicited *));
+              if c.alive then pump ()
+        in
+        pump ();
+        if reset then kill_conn t c
+      end
+
+let client_step t cl =
+  client_absorb t cl;
+  let conn_dead = match cl.conn with Some c -> not c.alive | None -> false in
+  if conn_dead && cl.inflight <> None then begin
+    (* the connection died under our request: back off, reconnect,
+       retransmit — the Ack may or may not have been journaled, dedup
+       on the server sorts it out *)
+    Rtt.backoff cl.rtt;
+    cl.inflight <- None;
+    cl.wait_until <- t.now + steps_of_rto (Rtt.rto cl.rtt)
+  end;
+  match cl.inflight with
+  | Some _ when t.now >= cl.deadline ->
+      Rtt.backoff cl.rtt;
+      send_head t cl
+  | Some _ -> ()
+  | None -> if cl.todo <> [] && t.now >= cl.wait_until then send_head t cl
+
+(* --- campaign ------------------------------------------------------------ *)
+
+let run ?jobs config =
+  if config.devices < 1 || config.capacity < 1 || config.drain_every < 1 then
+    invalid_arg "Netsim.run: bad config";
+  let plan =
+    Loadgen.plan ~devices:config.devices ~seed:config.seed
+      ~reports_per_device:config.reports_per_device
+  in
+  let store = Ra_journal.Disk.Mem.create () in
+  let disk = Ra_journal.Disk.Mem.disk store in
+  let core =
+    Core.create
+      ~config:
+        { Core.devices = config.devices; seed = config.seed; capacity = config.capacity }
+      disk
+  in
+  let per_client = Array.make config.devices [] in
+  Array.iter
+    (fun (item : Loadgen.item) ->
+      (* recover the roster index from the id position in the plan *)
+      let idx =
+        int_of_string (String.sub item.Loadgen.device 5
+                         (String.length item.Loadgen.device - 5))
+      in
+      per_client.(idx) <- item :: per_client.(idx))
+    plan;
+  let t =
+    {
+      config;
+      store;
+      disk;
+      core;
+      conn_rng = Prng.create ~seed:(config.seed lxor 0x7e57);
+      crash_rng = Prng.create ~seed:(config.seed lxor 0xdead);
+      clients =
+        Array.init config.devices (fun idx ->
+            {
+              idx;
+              todo = List.rev per_client.(idx);
+              rtt =
+                Rtt.create ~initial_rto:(Timebase.ms 120) ~min_rto:(Timebase.ms 40)
+                  ~max_rto:(Timebase.s 5) ();
+              conn = None;
+              inflight = None;
+              head_attempts = 0;
+              deadline = 0;
+              wait_until = 0;
+              retries = 0;
+              busy = 0;
+              acked = 0;
+            });
+      conns = [];
+      next_cid = 0;
+      now = 0;
+      dead_conns = 0;
+      restarts = 0;
+    }
+  in
+  let all_done () = Array.for_all (fun cl -> cl.todo = []) t.clients in
+  let rec loop () =
+    if all_done () then Ok ()
+    else if t.now >= config.max_steps then
+      Error
+        (Printf.sprintf "campaign did not converge within %d steps" config.max_steps)
+    else begin
+      t.now <- t.now + 1;
+      let crashed =
+        match config.crash_at with
+        | Some at when at = t.now -> crash t
+        | _ -> Ok ()
+      in
+      match crashed with
+      | Error _ as e -> e
+      | Ok () ->
+          server_step t;
+          Array.iter (fun cl -> client_step t cl) t.clients;
+          if t.now mod config.drain_every = 0 then ignore (Core.drain ?jobs t.core);
+          (* drop dead connections the clients have abandoned *)
+          t.conns <-
+            List.filter
+              (fun c ->
+                c.alive
+                || Array.exists
+                     (fun cl -> match cl.conn with Some c' -> c' == c | None -> false)
+                     t.clients)
+              t.conns;
+          loop ()
+    end
+  in
+  match loop () with
+  | Error _ as e -> e
+  | Ok () ->
+      ignore (Core.drain ?jobs t.core);
+      let clean, tampered, _ = World.verdict_counts (Core.world t.core) in
+      Ok
+        {
+          counters = Core.counters t.core;
+          root = Core.root t.core;
+          tampered;
+          clean;
+          acked = Array.fold_left (fun a cl -> a + cl.acked) 0 t.clients;
+          retries = Array.fold_left (fun a cl -> a + cl.retries) 0 t.clients;
+          busy = Array.fold_left (fun a cl -> a + cl.busy) 0 t.clients;
+          dead_conns = t.dead_conns;
+          restarts = t.restarts;
+          steps = t.now;
+        }

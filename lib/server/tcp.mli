@@ -1,0 +1,65 @@
+(** The real-socket shell around {!Core} — the only module in the tree
+    allowed to touch [Unix] sockets and the wall clock (ralint rule P3
+    pins Unix usage here and in the journal's file backend).
+
+    The server is a single-threaded select(2) loop over non-blocking
+    connections: reads happen only on readable fds, responses drain
+    through per-connection out-buffers on writable fds, so a client that
+    stalls mid-frame or stops reading parks its own state without ever
+    blocking another session — the stalled-client property the unit tests
+    pin down. Every decision (shed/accept/dedup/journal/verdict) is
+    {!Core}'s; kill -9 this process at any instant and a restart recovers
+    through the journal. *)
+
+val serve :
+  ?host:string ->
+  ?jobs:int ->
+  ?config:Core.config ->
+  ?fresh:bool ->
+  port:int ->
+  dir:string ->
+  unit ->
+  'a
+(** Run the attestation server forever (it never returns; kill the
+    process to stop it). If [dir] already holds a journal and [fresh] is
+    false, the server restarts through {!Core.recover} — a failed
+    recovery is a loud [exit 1], never a silent fresh start. [config]
+    only applies to fresh starts; a recovered server re-reads its config
+    from the journal header. *)
+
+val request :
+  ?host:string -> ?timeout_s:float -> port:int -> Wire.request -> (Wire.response, string) result
+(** One request/response exchange on a fresh connection (used by the
+    kill-gate script and ad-hoc inspection). *)
+
+type campaign = {
+  acked : int;
+  retries : int;
+  busy : int;  (** [Busy] frames absorbed (server shed under burst) *)
+  reconnects : int;  (** connection attempts after a refused/dead socket *)
+  stats : Wire.counters;  (** server's view, queried after the campaign *)
+  root : Bytes.t;  (** fleet Merkle root, queried after the campaign *)
+  tampered : int;
+  clean : int;
+  wall_s : float;
+  reports_per_s : float;  (** acked / wall — honest, fsync-per-report *)
+}
+
+val run_campaign :
+  ?host:string ->
+  ?give_up_after_s:float ->
+  port:int ->
+  devices:int ->
+  seed:int ->
+  reports_per_device:int ->
+  unit ->
+  (campaign, string) result
+(** Drive the deterministic {!Loadgen.plan} against a live server: one
+    connection per device, RFC 6298 retry/backoff on [Busy], timeout and
+    dead connections, reconnect-with-backoff while the server is down —
+    so a campaign straddling a kill -9 + restart converges instead of
+    failing. [Error] only when the campaign does not converge within
+    [give_up_after_s] (default 180) or the final root/counters queries
+    fail. *)
+
+val render_campaign : campaign -> string

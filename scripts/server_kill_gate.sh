@@ -1,0 +1,108 @@
+#!/bin/sh
+# Real-socket kill -9 gate for the attestation control plane.
+#
+# Two campaigns with the same (devices, seed, reports) plan:
+#   reference — server runs undisturbed start to finish;
+#   victim    — the server is kill -9'd mid-ingest and restarted over the
+#               same journal directory, while the load generator rides out
+#               the outage with reconnect + backoff.
+# The gate requires the victim's recovered fleet Merkle root and accepted
+# count to be bit-identical to the reference, and that the restart really
+# replayed journaled reports (recovered > 0 — i.e. the kill landed inside
+# the ingest window, not before or after it). The kill instant is wall
+# clock, so a whole attempt is retried a few times if the window is
+# missed; the root comparison itself is exact, never tolerance-based.
+set -eu
+
+RATOOL=_build/default/bin/ratool.exe
+PORT_REF=7461
+PORT_KILL=7462
+DEVICES=200
+REPORTS=10
+SEED=7
+WORK=_build/server-kill-gate
+
+[ -x "$RATOOL" ] || { echo "server_kill_gate: run 'dune build' first" >&2; exit 2; }
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+root_of() { sed -n 's/.*root=\([0-9a-f]*\).*/\1/p' "$1" | head -n 1; }
+field_of() { sed -n "s/.*$2=\([0-9]*\).*/\1/p" "$1" | head -n 1; }
+
+loadgen() {
+  port=$1; log=$2
+  "$RATOOL" loadgen --port "$port" --devices $DEVICES --seed $SEED \
+    --reports $REPORTS >"$log" 2>&1
+}
+
+# --- reference: unkilled run ---------------------------------------------
+"$RATOOL" serve --port $PORT_REF --dir "$WORK/ref" --devices $DEVICES \
+  --seed $SEED >"$WORK/ref-server.log" 2>&1 &
+REF_PID=$!
+trap 'kill -9 $REF_PID 2>/dev/null || true; kill -9 ${KILL_PID:-0} 2>/dev/null || true' EXIT
+
+loadgen $PORT_REF "$WORK/ref-loadgen.log"
+REF_ROOT=$(root_of "$WORK/ref-loadgen.log")
+REF_ACCEPTED=$(field_of "$WORK/ref-loadgen.log" accepted)
+kill -9 $REF_PID 2>/dev/null || true
+wait $REF_PID 2>/dev/null || true
+
+[ -n "$REF_ROOT" ] || { echo "server_kill_gate: no root in reference run" >&2; exit 1; }
+echo "reference: accepted=$REF_ACCEPTED root=$REF_ROOT"
+
+# --- victim: kill -9 mid-ingest, restart, same journal -------------------
+attempt=1
+while [ $attempt -le 3 ]; do
+  rm -rf "$WORK/victim"
+  "$RATOOL" serve --port $PORT_KILL --dir "$WORK/victim" --devices $DEVICES \
+    --seed $SEED >"$WORK/victim-server1.log" 2>&1 &
+  KILL_PID=$!
+
+  loadgen $PORT_KILL "$WORK/victim-loadgen.log" &
+  LOADGEN_PID=$!
+
+  # let ingest start, then murder the server with reports still in flight
+  sleep 1
+  kill -9 $KILL_PID 2>/dev/null || true
+  wait $KILL_PID 2>/dev/null || true
+
+  # restart over the same journal: recovery is Journal.restart, not a
+  # fresh start — the loadgen is still retrying against the dead port
+  "$RATOOL" serve --port $PORT_KILL --dir "$WORK/victim" --devices $DEVICES \
+    --seed $SEED >"$WORK/victim-server2.log" 2>&1 &
+  KILL_PID=$!
+
+  if ! wait $LOADGEN_PID; then
+    echo "server_kill_gate: loadgen failed across the restart" >&2
+    cat "$WORK/victim-loadgen.log" >&2
+    exit 1
+  fi
+  kill -9 $KILL_PID 2>/dev/null || true
+  wait $KILL_PID 2>/dev/null || true
+
+  RECOVERED=$(field_of "$WORK/victim-loadgen.log" recovered)
+  if [ "${RECOVERED:-0}" -gt 0 ]; then
+    break
+  fi
+  echo "attempt $attempt: kill missed the ingest window (recovered=0), retrying"
+  attempt=$((attempt + 1))
+done
+
+[ "${RECOVERED:-0}" -gt 0 ] || {
+  echo "server_kill_gate: never killed mid-ingest in 3 attempts" >&2
+  exit 1
+}
+
+VICTIM_ROOT=$(root_of "$WORK/victim-loadgen.log")
+VICTIM_ACCEPTED=$(field_of "$WORK/victim-loadgen.log" accepted)
+echo "victim:    accepted=$VICTIM_ACCEPTED recovered=$RECOVERED root=$VICTIM_ROOT"
+
+if [ "$VICTIM_ROOT" != "$REF_ROOT" ]; then
+  echo "server_kill_gate: FLEET ROOT DIVERGED after kill -9 restart" >&2
+  exit 1
+fi
+if [ "$VICTIM_ACCEPTED" != "$REF_ACCEPTED" ]; then
+  echo "server_kill_gate: accepted count diverged ($VICTIM_ACCEPTED vs $REF_ACCEPTED)" >&2
+  exit 1
+fi
+echo "server_kill_gate: OK (root bit-identical, $RECOVERED reports replayed from the journal)"

@@ -193,6 +193,132 @@ let test_report_decode_every_truncation () =
     | Ok _ -> Alcotest.fail (Printf.sprintf "truncation at %d accepted" cut)
   done
 
+(* --- stream framing: incremental reader ----------------------------------- *)
+
+let drain_reader r =
+  let rec go acc =
+    match Frame.Reader.next r with
+    | Frame.Reader.Frame p -> go (p :: acc)
+    | Frame.Reader.Await -> Ok (List.rev acc)
+    | Frame.Reader.Corrupt e -> Error e
+  in
+  go []
+
+(* Exhaustive split coverage: two stream frames back to back, the byte
+   stream cut at EVERY boundary — inside the magic, the length field, the
+   payload, the CRC trailer, and exactly between the frames. Feeding the
+   two halves separately must always yield exactly the two payloads. *)
+let test_reader_every_split_point () =
+  let a = Bytes.of_string "first report" in
+  let b = Bytes.of_string "second, longer attestation report payload" in
+  let stream = Bytes.cat (Frame.seal_stream a) (Frame.seal_stream b) in
+  let n = Bytes.length stream in
+  for cut = 0 to n do
+    let r = Frame.Reader.create () in
+    Frame.Reader.feed r ~off:0 ~len:cut stream;
+    Frame.Reader.feed r ~off:cut ~len:(n - cut) stream;
+    (match drain_reader r with
+    | Ok [ pa; pb ] when Bytes.equal pa a && Bytes.equal pb b -> ()
+    | Ok ps ->
+      Alcotest.failf "cut at %d: %d frame(s) with wrong payloads" cut
+        (List.length ps)
+    | Error e -> Alcotest.failf "cut at %d: spurious corrupt: %s" cut e);
+    check Alcotest.int "no residue" 0 (Frame.Reader.buffered r);
+    check Alcotest.int "two frames counted" 2 (Frame.Reader.frames r);
+    check Alcotest.int "all bytes accounted" n (Frame.Reader.bytes_fed r)
+  done
+
+let test_reader_byte_at_a_time () =
+  (* the degenerate chunking — every read returns one byte — including an
+     empty payload, whose frame is pure framing overhead *)
+  let payloads = [ Bytes.empty; Bytes.of_string "x"; Bytes.make 300 'q' ] in
+  let stream = Bytes.concat Bytes.empty (List.map Frame.seal_stream payloads) in
+  let r = Frame.Reader.create () in
+  let out = ref [] in
+  for i = 0 to Bytes.length stream - 1 do
+    Frame.Reader.feed r ~off:i ~len:1 stream;
+    match drain_reader r with
+    | Ok ps -> out := !out @ ps
+    | Error e -> Alcotest.failf "byte %d: %s" i e
+  done;
+  check Alcotest.int "all frames recovered" (List.length payloads)
+    (List.length !out);
+  List.iter2
+    (fun want got -> check Alcotest.bytes "payload intact" want got)
+    payloads !out
+
+let prop_reader_reassembles_any_chunking =
+  QCheck.Test.make ~name:"stream reader: any chunking reassembles exactly"
+    ~count:300
+    QCheck.(pair small_int (small_list (string_of_size Gen.(0 -- 40))))
+    (fun (seed, payloads) ->
+      let rng = Prng.create ~seed in
+      let stream =
+        Bytes.concat Bytes.empty
+          (List.map (fun s -> Frame.seal_stream (Bytes.of_string s)) payloads)
+      in
+      let r = Frame.Reader.create () in
+      let out = ref [] in
+      let pos = ref 0 in
+      let n = Bytes.length stream in
+      while !pos < n do
+        let len = 1 + Prng.int rng ~bound:(min 7 (n - !pos)) in
+        Frame.Reader.feed r ~off:!pos ~len stream;
+        pos := !pos + len;
+        match drain_reader r with
+        | Ok ps -> out := !out @ List.map Bytes.to_string ps
+        | Error e -> Alcotest.fail e
+      done;
+      !out = payloads
+      && Frame.Reader.frames r = List.length payloads
+      && Frame.Reader.bytes_fed r = n
+      && Frame.Reader.buffered r = 0)
+
+(* A flipped bit anywhere in the stream must never surface as a wrong
+   payload: the reader either latches Corrupt or keeps Awaiting (a grown
+   length field can make it wait for bytes that never come — that is the
+   peer's RTO's problem, not a parsing bug). *)
+let prop_reader_bit_flip_never_wrong_payload =
+  QCheck.Test.make ~name:"stream reader: bit flip never yields a wrong payload"
+    ~count:300
+    QCheck.(pair small_int (string_of_size Gen.(0 -- 64)))
+    (fun (seed, s) ->
+      let rng = Prng.create ~seed in
+      let stream = Channel.flip_random_bit rng (Frame.seal_stream (Bytes.of_string s)) in
+      let r = Frame.Reader.create () in
+      Frame.Reader.feed r stream;
+      match drain_reader r with
+      | Error _ | Ok [] -> true
+      | Ok _ -> false)
+
+let test_reader_corrupt_is_sticky () =
+  let r = Frame.Reader.create () in
+  Frame.Reader.feed r (Bytes.of_string "XXgarbage, not a frame magic");
+  (match Frame.Reader.next r with
+  | Frame.Reader.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic not detected");
+  (* a perfectly valid frame fed after the latch must be discarded: there
+     is no trustworthy resynchronisation point in a broken stream *)
+  Frame.Reader.feed r (Frame.seal_stream (Bytes.of_string "late valid frame"));
+  (match Frame.Reader.next r with
+  | Frame.Reader.Corrupt _ -> ()
+  | Frame.Reader.Frame _ -> Alcotest.fail "reader resynchronised on garbage"
+  | Frame.Reader.Await -> Alcotest.fail "corrupt latch forgotten");
+  check Alcotest.int "no frames ever" 0 (Frame.Reader.frames r)
+
+let test_reader_rejects_oversized_length () =
+  (* a hostile length field must be rejected from the 6 header bytes alone,
+     before the reader buffers anything like max_payload *)
+  let header = Bytes.make 6 '\x00' in
+  Bytes.set header 0 'R';
+  Bytes.set header 1 'F';
+  Bytes.set_int32_be header 2 (Int32.of_int (Frame.max_payload + 1));
+  let r = Frame.Reader.create () in
+  Frame.Reader.feed r header;
+  match Frame.Reader.next r with
+  | Frame.Reader.Corrupt _ -> ()
+  | _ -> Alcotest.fail "oversized length not rejected"
+
 (* --- RTT estimator -------------------------------------------------------- *)
 
 let test_rtt_estimator () =
@@ -695,6 +821,18 @@ let () =
             test_frame_zero_length_payload;
           Alcotest.test_case "report decode: every truncation" `Quick
             test_report_decode_every_truncation;
+        ] );
+      ( "stream-framing",
+        [
+          Alcotest.test_case "every split point" `Quick
+            test_reader_every_split_point;
+          Alcotest.test_case "byte at a time" `Quick test_reader_byte_at_a_time;
+          qtest prop_reader_reassembles_any_chunking;
+          qtest prop_reader_bit_flip_never_wrong_payload;
+          Alcotest.test_case "corrupt latch is sticky" `Quick
+            test_reader_corrupt_is_sticky;
+          Alcotest.test_case "oversized length rejected" `Quick
+            test_reader_rejects_oversized_length;
         ] );
       ( "rtt",
         [

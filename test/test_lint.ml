@@ -64,11 +64,23 @@ let p_positive () =
   check rules_testable "toplevel ref behind a tuple fires P2" [ "P2" ]
     (rules (lint "let state = (ref 0, 1)\n"));
   check rules_testable "toplevel array literal fires P2" [ "P2" ]
-    (rules (lint "let tbl = [| 1; 2; 3 |]\n"))
+    (rules (lint "let tbl = [| 1; 2; 3 |]\n"));
+  check rules_testable "Unix socket call outside the shell fires P3" [ "P3" ]
+    (rules (lint "let s () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0\n"));
+  check rules_testable "Unix.fork outside the shell fires P3" [ "P3" ]
+    (rules (lint "let f () = Unix.fork ()\n"));
+  check rules_testable "nested Unix path fires P3" [ "P3" ]
+    (rules (lint ~file:"lib/experiments/fixture.ml" "let b () = Unix.LargeFile.stat \"x\"\n"))
 
 let p_negative () =
   check rules_testable "Mutex inside lib/cache is allowed" []
     (rules (lint ~file:"lib/cache/ra_cache.ml" "let m = Mutex.create ()\n"));
+  check rules_testable "Unix inside the socket shell is allowed" []
+    (rules (lint ~file:"lib/server/tcp.ml" "let s () = Unix.listen fd 64\n"));
+  check rules_testable "Unix inside the journal's file backend is allowed" []
+    (rules (lint ~file:"lib/journal/disk.ml" "let s f = Unix.openfile f [] 0o644\n"));
+  check rules_testable "a wall-clock read is D2's diagnosis, not P3's" [ "D2" ]
+    (rules (lint "let now () = Unix.gettimeofday ()\n"));
   check rules_testable "per-call state is not module state" []
     (rules (lint "let fresh () = Hashtbl.create 16\n"));
   check rules_testable "P2 scoping excludes unreachable paths" []

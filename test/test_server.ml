@@ -1,0 +1,270 @@
+(* Tests for the attestation control plane: wire codec round trips, the
+   deterministic server core (bounded queue, shedding, dedup, journaled
+   ingest), crash recovery through Journal.restart, simulated-network
+   campaigns under stream faults (determinism per seed, invariance across
+   --jobs, restart root bit-identity), and the real-TCP shell (a stalled
+   client must not block other sessions). *)
+
+open Ra_server
+module Prng = Ra_sim.Prng
+module Frame = Ra_core.Frame
+module Disk = Ra_journal.Disk
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let hex = Ra_crypto.Bytesutil.to_hex
+
+(* --- wire codec ---------------------------------------------------------- *)
+
+let arb_request =
+  let open QCheck in
+  oneof
+    [
+      map
+        (fun (device, seq, report) ->
+          Wire.Submit
+            { device; seq = abs seq; report = Bytes.of_string report })
+        (triple (string_of_size (Gen.int_bound 16)) small_int
+           (string_of_size (Gen.int_bound 64)));
+      always Wire.Fleet_health;
+      map (fun d -> Wire.Quarantine d) (string_of_size (Gen.int_bound 16));
+      always Wire.Fleet_root;
+      always Wire.Counters;
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire request round trip" ~count:500 arb_request
+    (fun req ->
+      match Wire.decode_request (Wire.encode_request req) with
+      | Ok req' -> req = req'
+      | Error _ -> false)
+
+let arb_response =
+  let open QCheck in
+  oneof
+    [
+      map
+        (fun (device, seq) -> Wire.Ack { device; seq = abs seq })
+        (pair (string_of_size (Gen.int_bound 16)) small_int);
+      map
+        (fun (q, c) -> Wire.Busy { queued = abs q; capacity = abs c })
+        (pair small_int small_int);
+      map (fun r -> Wire.Rejected r) (string_of_size (Gen.int_bound 32));
+      map
+        (fun entries -> Wire.Health entries)
+        (small_list
+           (pair (string_of_size (Gen.int_bound 12))
+              (string_of_size (Gen.int_bound 12))));
+      map (fun r -> Wire.Root (Bytes.of_string r)) (string_of_size (Gen.int_bound 32));
+      map
+        (fun (a, b, c, d, e) ->
+          Wire.Stats
+            {
+              Wire.accepted = abs a;
+              shed = abs b;
+              deduped = abs c;
+              rejected = abs d;
+              recovered = abs e;
+            })
+        (tup5 small_int small_int small_int small_int small_int);
+    ]
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"wire response round trip" ~count:500 arb_response
+    (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Ok resp' -> resp = resp'
+      | Error _ -> false)
+
+let test_wire_rejects_garbage () =
+  (match Wire.decode_request (Bytes.of_string "\x2a") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag decoded");
+  match Wire.decode_request Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty request decoded"
+
+(* --- netsim campaigns ---------------------------------------------------- *)
+
+let smoke_config =
+  {
+    Netsim.default with
+    Netsim.devices = 12;
+    reports_per_device = 3;
+    capacity = 5;
+    seed = 11;
+  }
+
+let run_ok ?jobs config =
+  match Netsim.run ?jobs config with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "netsim campaign failed: %s" e
+
+let test_netsim_ideal () =
+  let o =
+    run_ok { smoke_config with Netsim.faults = Ra_faults.Stream_faults.ideal }
+  in
+  check Alcotest.int "all items acked" 36 o.Netsim.acked;
+  check Alcotest.int "all unique reports accepted" 36 o.Netsim.counters.Wire.accepted;
+  check Alcotest.int "tampered verdicts match the infected set"
+    (Loadgen.expected_tampered ~devices:12)
+    o.Netsim.tampered;
+  check Alcotest.int "no connection died" 0 o.Netsim.dead_conns
+
+let test_netsim_sheds_and_converges () =
+  let o = run_ok smoke_config in
+  check Alcotest.int "all items acked despite faults" 36 o.Netsim.acked;
+  check Alcotest.int "accepted is exactly the unique plan" 36
+    o.Netsim.counters.Wire.accepted;
+  if o.Netsim.counters.Wire.shed = 0 then
+    Alcotest.fail "burst never overran the bounded queue (shed = 0)";
+  if o.Netsim.busy = 0 then Alcotest.fail "no client ever absorbed a Busy";
+  if o.Netsim.retries = 0 then Alcotest.fail "no client ever retried"
+
+let outcome_signature (o : Netsim.outcome) =
+  Printf.sprintf "acc=%d shed=%d dedup=%d rej=%d rec=%d acked=%d retries=%d busy=%d dead=%d root=%s"
+    o.Netsim.counters.Wire.accepted o.Netsim.counters.Wire.shed
+    o.Netsim.counters.Wire.deduped o.Netsim.counters.Wire.rejected
+    o.Netsim.counters.Wire.recovered o.Netsim.acked o.Netsim.retries
+    o.Netsim.busy o.Netsim.dead_conns (hex o.Netsim.root)
+
+let prop_netsim_deterministic =
+  QCheck.Test.make ~name:"campaign outcome is a pure function of the seed"
+    ~count:6
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let config = { smoke_config with Netsim.seed } in
+      outcome_signature (run_ok config) = outcome_signature (run_ok config))
+
+let prop_netsim_jobs_invariant =
+  QCheck.Test.make ~name:"campaign outcome is invariant across --jobs"
+    ~count:4
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let config = { smoke_config with Netsim.seed } in
+      outcome_signature (run_ok ~jobs:1 config)
+      = outcome_signature (run_ok ~jobs:4 config))
+
+let test_netsim_restart_root_bit_identical () =
+  let unkilled = run_ok smoke_config in
+  let killed = run_ok { smoke_config with Netsim.crash_at = Some 40 } in
+  check Alcotest.int "one restart" 1 killed.Netsim.restarts;
+  check Alcotest.string "fleet root bit-identical to the unkilled run"
+    (hex unkilled.Netsim.root) (hex killed.Netsim.root);
+  check Alcotest.int "accepted identical" unkilled.Netsim.counters.Wire.accepted
+    killed.Netsim.counters.Wire.accepted;
+  check Alcotest.int "tampered identical" unkilled.Netsim.tampered
+    killed.Netsim.tampered;
+  if killed.Netsim.counters.Wire.recovered = 0 then
+    Alcotest.fail "the crash recovered nothing — it landed before any ingest"
+
+(* --- real TCP shell ------------------------------------------------------- *)
+
+let tcp_port = 7493
+
+(* Fork a real server on [tcp_port] with a throwaway journal, run [f] in
+   the parent once the listener answers, and always reap the child. *)
+let with_server ~devices ~seed ~capacity f =
+  let dir = Filename.temp_file "ra-server-test" "" in
+  Sys.remove dir;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 null Unix.stdout;
+       Unix.dup2 null Unix.stderr;
+       Tcp.serve ~port:tcp_port ~dir ~config:{ Core.devices; seed; capacity } ()
+     with _ -> ());
+    exit 1
+  end
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        let rec await n =
+          if n = 0 then Alcotest.fail "server never came up";
+          match Tcp.request ~port:tcp_port ~timeout_s:1.0 Wire.Counters with
+          | Ok (Wire.Stats _) -> ()
+          | _ ->
+              ignore (Unix.select [] [] [] 0.1);
+              await (n - 1)
+        in
+        await 50;
+        f ())
+
+let test_stalled_client_does_not_block () =
+  with_server ~devices:8 ~seed:7 ~capacity:16 (fun () ->
+      (* park a connection mid-frame: the magic plus half the length field,
+         then silence — the classic slowloris posture *)
+      let stalled = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect stalled
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", tcp_port));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close stalled with Unix.Unix_error _ -> ())
+        (fun () ->
+          let stream = Frame.seal_stream (Wire.encode_request Wire.Fleet_root) in
+          check Alcotest.int "half frame written" 4 (Unix.write stalled stream 0 4);
+          (* while it hangs, a full campaign completes on other sockets *)
+          match
+            Tcp.run_campaign ~port:tcp_port ~give_up_after_s:60. ~devices:8
+              ~seed:7 ~reports_per_device:2 ()
+          with
+          | Error e -> Alcotest.fail e
+          | Ok c ->
+              check Alcotest.int "every report acked past the stalled peer" 16
+                c.Tcp.acked;
+              check Alcotest.int "server accepted the full plan" 16
+                c.Tcp.stats.Wire.accepted;
+              check Alcotest.int "tampered verdicts match the plan"
+                (Loadgen.expected_tampered ~devices:8)
+                c.Tcp.tampered))
+
+let test_tcp_quarantine_endpoint () =
+  with_server ~devices:4 ~seed:9 ~capacity:8 (fun () ->
+      (match Tcp.request ~port:tcp_port (Wire.Quarantine "node-00002") with
+      | Ok (Wire.Ack { device = "node-00002"; seq = 0 }) -> ()
+      | _ -> Alcotest.fail "quarantine not acknowledged");
+      (match Tcp.request ~port:tcp_port (Wire.Quarantine "intruder") with
+      | Ok (Wire.Rejected _) -> ()
+      | _ -> Alcotest.fail "unknown device quarantine not rejected");
+      match Tcp.request ~port:tcp_port Wire.Fleet_health with
+      | Ok (Wire.Health entries) ->
+          check Alcotest.int "health lists the whole fleet" 4
+            (List.length entries);
+          check Alcotest.string "quarantine visible in health" "quarantined"
+            (List.assoc "node-00002" entries)
+      | _ -> Alcotest.fail "health query failed")
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          qtest prop_request_roundtrip;
+          qtest prop_response_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_wire_rejects_garbage;
+        ] );
+      (* the tcp group forks a real server per test, and OCaml 5 forbids
+         Unix.fork once domains exist — so it must run before the netsim
+         group, whose Core.drain spins up the Ra_parallel pool *)
+      ( "tcp",
+        [
+          Alcotest.test_case "stalled client cannot block other sessions"
+            `Quick test_stalled_client_does_not_block;
+          Alcotest.test_case "quarantine endpoint" `Quick
+            test_tcp_quarantine_endpoint;
+        ] );
+      ( "netsim",
+        [
+          Alcotest.test_case "ideal network campaign" `Quick test_netsim_ideal;
+          Alcotest.test_case "shedding under burst" `Quick
+            test_netsim_sheds_and_converges;
+          qtest prop_netsim_deterministic;
+          qtest prop_netsim_jobs_invariant;
+          Alcotest.test_case "restart root bit-identity" `Quick
+            test_netsim_restart_root_bit_identical;
+        ] );
+    ]
