@@ -6,12 +6,15 @@ build:
 test: build
 	dune runtest
 
-# Static-analysis gate (DESIGN.md §10): determinism, parallel-safety,
-# unsafe-code discipline and interface hygiene over the repo's own
-# sources, ratcheted against LINT_BASELINE.json. Exits non-zero on any
-# non-baselined finding; stale baseline entries are reported as drift.
+# Static-analysis gate (DESIGN.md §10, §14): determinism, parallel-safety,
+# unsafe-code discipline and interface hygiene per file, then the
+# interprocedural lock-discipline / protocol-order / secret-flow fixpoint
+# over the whole tree, ratcheted against LINT_BASELINE.json (kept empty).
+# Exits non-zero on any non-baselined finding; stale entries are drift.
+# The tool prints file count + wall time on stderr so the fixpoint cost
+# stays visible.
 lint: build
-	dune exec bin/ralint.exe
+	dune exec bin/ralint.exe -- --gate-empty-baseline
 
 # Accept the current findings into the ratchet baseline (review the
 # LINT_BASELINE.json diff before committing — prefer fixing or an

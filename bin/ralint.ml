@@ -1,5 +1,8 @@
-(* ralint — run the Ra_lint rule families (DESIGN.md §10) over the repo's
-   own sources and gate against the committed ratchet baseline.
+(* ralint — run the Ra_lint rule families (DESIGN.md §10, §14) over the
+   repo's own sources and gate against the committed ratchet baseline.
+
+   Two passes share one file walk: the per-file rules (D/P/U/I), then the
+   interprocedural program analysis (L/O/C) over every file that parsed.
 
    Exit status: 0 when every finding is covered by the baseline, 1 when a
    new finding (or a parse failure) appears. Stale baseline entries are
@@ -9,11 +12,17 @@
 let usage =
   "ralint [options] [paths...]\n\
    Static analysis for determinism (D), parallel-safety (P), unsafe-code\n\
-   discipline (U) and interface hygiene (I). Default paths: lib bin bench."
+   discipline (U), interface hygiene (I), lock discipline (L), protocol\n\
+   order (O) and secret flow (C).\n\
+   Default paths: lib bin bench test examples."
 
 let json_out = ref false
 let baseline_path = ref "LINT_BASELINE.json"
 let update_baseline = ref false
+let gate_empty = ref false
+let summaries = ref false
+let only = ref ""
+let rule = ref ""
 let root = ref "."
 let rest = ref []
 
@@ -26,6 +35,18 @@ let spec =
     ( "--update-baseline",
       Arg.Set update_baseline,
       " accept all current findings into the baseline file and exit 0" );
+    ( "--gate-empty-baseline",
+      Arg.Set gate_empty,
+      " fail (exit 3) unless the baseline file is empty — CI keeps the \
+       ratchet fully tightened" );
+    ( "--only",
+      Arg.Set_string only,
+      "FAMS comma-separated rule families to report (e.g. L,O,C)" );
+    ("--rule", Arg.Set_string rule, "ID report one rule only (e.g. O1)");
+    ( "--summaries",
+      Arg.Set summaries,
+      " dump the converged per-function lock/journal/taint summaries and \
+       exit" );
     ("--root", Arg.Set_string root, "DIR repository root (default .)");
   ]
 
@@ -54,9 +75,23 @@ let collect_ml_files ~root paths =
     paths;
   List.sort compare !out
 
+(* The family/rule filter applies symmetrically to findings and baseline
+   entries, so `--only L` shows the L slice of both sides of the diff. *)
+let keep_rule r =
+  if !rule <> "" then r = !rule
+  else if !only = "" then true
+  else
+    let fams = String.split_on_char ',' !only in
+    List.exists (fun f -> String.trim f <> "" && String.trim f = String.make 1 r.[0]) fams
+
 let () =
   Arg.parse spec (fun p -> rest := p :: !rest) usage;
-  let paths = if !rest = [] then [ "lib"; "bin"; "bench" ] else List.rev !rest in
+  (* ralint: allow D2 — lint wall time is diagnostic output, not simulated state *)
+  let t0 = Unix.gettimeofday () in
+  let paths =
+    if !rest = [] then [ "lib"; "bin"; "bench"; "test"; "examples" ]
+    else List.rev !rest
+  in
   let root = !root in
   let config =
     {
@@ -65,10 +100,10 @@ let () =
     }
   in
   let files = collect_ml_files ~root paths in
-  let findings =
+  let sources = List.map (fun f -> (f, read_text (Filename.concat root f))) files in
+  let per_file =
     List.concat_map
-      (fun file ->
-        let source = read_text (Filename.concat root file) in
+      (fun (file, source) ->
         match Ra_lint.lint_source ~config ~file source with
         | fs ->
           let interface =
@@ -93,7 +128,17 @@ let () =
               message = "file does not parse: " ^ msg;
             };
           ])
-      files
+      sources
+  in
+  let program = Ra_lint.Program.load sources in
+  if !summaries then begin
+    print_string (Ra_lint.Program.summaries ~config program);
+    exit 0
+  end;
+  let findings =
+    List.filter
+      (fun (f : Ra_lint.finding) -> keep_rule f.rule)
+      (per_file @ Ra_lint.Program.analyze ~config program)
   in
   let baseline_file =
     if Filename.is_relative !baseline_path then Filename.concat root !baseline_path
@@ -110,13 +155,26 @@ let () =
   end;
   let baseline =
     if Sys.file_exists baseline_file then
-      try Ra_lint.baseline_of_json (read_text baseline_file)
+      try
+        List.filter
+          (fun (b : Ra_lint.baseline_entry) -> keep_rule b.b_rule)
+          (Ra_lint.baseline_of_json (read_text baseline_file))
       with Ra_experiments.Benchkit.Parse_error msg ->
         Printf.eprintf "ralint: malformed baseline %s: %s\n" !baseline_path msg;
         exit 2
     else []
   in
+  if !gate_empty && baseline <> [] then begin
+    Printf.eprintf
+      "ralint: baseline %s carries %d accepted finding(s); the ratchet must \
+       stay empty — fix the findings instead\n"
+      !baseline_path (List.length baseline);
+    exit 3
+  end;
   let report = Ra_lint.diff ~baseline findings in
   print_string
     (if !json_out then Ra_lint.render_json report else Ra_lint.render_human report);
+  (* ralint: allow D2 — lint wall time is diagnostic output, not simulated state *)
+  Printf.eprintf "ralint: %d file(s) in %.2fs\n" (List.length files)
+    (Unix.gettimeofday () -. t0);
   exit (if Ra_lint.new_findings report = [] then 0 else 1)

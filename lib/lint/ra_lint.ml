@@ -45,6 +45,15 @@ type config = {
          Some prefixes: only under these (the Ra_parallel-reachable set) *)
   comment_reach : int;
       (* how many lines above a binding an attaching comment may end *)
+  o_core_paths : string list;
+      (* files whose Ack constructions rule O1 holds to journal-then-commit *)
+  digest_guard : (string * string) list;
+      (* (file prefix, submodule): kernel digests must run under a held
+         lock there (rule L4) *)
+  c_paths : string list;
+      (* path prefixes where secret-flow findings (C1/C2) are reported *)
+  secret_tag_paths : string list;
+      (* where the name "tag" seeds taint (a MAC tag, not a record tag) *)
 }
 
 let default_config =
@@ -58,9 +67,14 @@ let default_config =
       ];
     parallel_allowlist = [ "lib/parallel/"; "lib/cache/" ];
     interface_allowlist = [ "lib/crypto/digest_intf.ml" ];
-    unix_allowlist = [ "lib/server/tcp.ml"; "lib/journal/disk.ml" ];
+    unix_allowlist =
+      [ "lib/server/tcp.ml"; "lib/journal/disk.ml"; "test/test_server.ml" ];
     p2_paths = None;
     comment_reach = 3;
+    o_core_paths = [ "lib/server/core.ml" ];
+    digest_guard = [ ("lib/cache/", "Store") ];
+    c_paths = [ "lib/crypto/"; "lib/pk/"; "lib/server/" ];
+    secret_tag_paths = [ "lib/crypto/"; "lib/pk/" ];
   }
 
 let path_matches prefixes file =
@@ -609,6 +623,21 @@ let render_json report =
            (esc b.b_rule) (esc b.b_file) (esc b.b_fingerprint)))
     report.stale;
   Buffer.add_string buf (if report.stale = [] then "],\n" else "\n  ],\n");
+  (* per-family counts, uploaded as Benchkit metrics by CI *)
+  let families = [ "D"; "P"; "U"; "I"; "L"; "O"; "C"; "E" ] in
+  let count fam =
+    List.length
+      (List.filter
+         (fun ((f : finding), _) -> String.make 1 f.rule.[0] = fam)
+         report.findings)
+  in
+  Buffer.add_string buf "  \"families\": {";
+  List.iteri
+    (fun i fam ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %d" (if i = 0 then "" else ", ") fam (count fam)))
+    families;
+  Buffer.add_string buf "},\n";
   let news = List.length (new_findings report) in
   Buffer.add_string buf
     (Printf.sprintf
@@ -727,4 +756,102 @@ module Reach = struct
       (List.filter_map
          (fun (n, dir, _) -> if List.mem n reachable then Some dir else None)
          libs)
+end
+
+(* --- interprocedural analysis (families L, O, C) ------------------------- *)
+
+module Program = struct
+  type t = { cg : Callgraph.t; units : Callgraph.unit_info list }
+
+  (* Unparseable sources are skipped here: the per-file pass already
+     reports them (E1 in the driver), and one broken file should not
+     take the whole-program analysis down with it. *)
+  let load sources =
+    let units =
+      List.filter_map
+        (fun (file, text) ->
+          match Callgraph.unit_of_source ~file text with
+          | u -> Some u
+          | exception Callgraph.Parse_error _ -> None)
+        sources
+    in
+    { cg = Callgraph.build units; units }
+
+  let options_of_config config =
+    ( { Summary.o_core = config.o_core_paths; digest_guard = config.digest_guard },
+      { Taint.c_paths = config.c_paths; secret_tag_paths = config.secret_tag_paths }
+    )
+
+  let analyze ?(config = default_config) t =
+    let sopt, topt = options_of_config config in
+    let sraws, _ = Summary.run ~options:sopt t.cg in
+    let traws, _ = Taint.run ~options:topt t.cg in
+    let by_file : (string, Summary.raw list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Summary.raw) ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_file r.r_file) in
+        Hashtbl.replace by_file r.r_file (r :: cur))
+      (sraws @ traws);
+    let files =
+      List.sort_uniq compare
+        (List.map (fun (r : Summary.raw) -> r.r_file) (sraws @ traws))
+    in
+    List.concat_map
+      (fun file ->
+        let ordered =
+          List.sort
+            (fun (a : Summary.raw) (b : Summary.raw) ->
+              compare
+                ( a.r_loc.Location.loc_start.pos_lnum,
+                  a.r_loc.Location.loc_start.pos_cnum,
+                  a.r_rule )
+                ( b.r_loc.Location.loc_start.pos_lnum,
+                  b.r_loc.Location.loc_start.pos_cnum,
+                  b.r_rule ))
+            (Hashtbl.find by_file file)
+        in
+        let comments =
+          match
+            List.find_opt (fun u -> u.Callgraph.u_file = file) t.units
+          with
+          | Some u -> u.Callgraph.u_comments
+          | None -> []
+        in
+        assign_fingerprints file
+          (List.map
+             (fun (r : Summary.raw) -> (r.r_rule, r.r_loc, r.r_token, r.r_msg))
+             ordered)
+        (* interprocedural waivers are near-site only (item_ranges = []):
+           the allow comment must sit on, or directly above, the flagged
+           line — a function-level waiver would silence the whole protocol
+           check, not one reviewed site *)
+        |> List.filter
+             (fun f ->
+               not
+                 (suppressed ~reach:config.comment_reach ~comments
+                    ~item_ranges:[] f)))
+      files
+
+  let summaries ?(config = default_config) t =
+    let sopt, topt = options_of_config config in
+    let _, sinfos = Summary.run ~options:sopt t.cg in
+    let _, tinfos = Taint.run ~options:topt t.cg in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (f : Callgraph.func) ->
+        (match Hashtbl.find_opt sinfos f.Callgraph.qname with
+        | Some i ->
+          Buffer.add_string buf (Summary.dump_info i);
+          Buffer.add_char buf '\n'
+        | None -> ());
+        match Hashtbl.find_opt tinfos f.Callgraph.qname with
+        | Some i
+          when i.Taint.ret_always
+               || not (Taint.IntSet.is_empty i.Taint.ret_deps)
+               || not (Taint.IntSet.is_empty i.Taint.cmp_deps) ->
+          Buffer.add_string buf ("  " ^ Taint.dump_tinfo i);
+          Buffer.add_char buf '\n'
+        | _ -> ())
+      (Callgraph.functions t.cg);
+    Buffer.contents buf
 end

@@ -17,8 +17,23 @@
     - {b I interface hygiene}: I1 [lib/**.ml] without a matching [.mli]
       (module-type-only files exempt).
 
+    On top of the per-file walker, {!Program} runs a summary-based
+    interprocedural analysis (DESIGN.md §14) with three more families:
+
+    - {b L lock discipline}: L1 double acquire (direct or through a
+      callee), L2 lock-order inversion program-wide, L3 blocking calls
+      ([Unix.*], fsync, [Domain.join]) while holding a lock, L4 kernel
+      digest computation reachable outside the owning stripe lock.
+    - {b O protocol order}: O1 every Ack-emitting path in the verifier
+      [Core] journals (append {e and} commit) first, O2 every
+      [Journal.restart] caller passes [~validate].
+    - {b C secret flow}: C1 early-exit comparisons ([=], [compare],
+      [Bytes.equal], …) on values carrying key/MAC taint, C2 secrets
+      formatted into exceptions or logs.
+
     Checks are syntactic and conservative. A site can be waived in-source
-    with [(* ralint: allow <RULE> — reason *)], or accepted into the
+    with [(* ralint: allow <RULE> — reason *)] (for L/O/C the waiver must
+    sit on or directly above the flagged line), or accepted into the
     committed ratchet baseline ([LINT_BASELINE.json]): baselined findings
     keep passing, new ones fail, fixed ones are reported as drift. *)
 
@@ -39,13 +54,23 @@ type config = {
   interface_allowlist : string list;
   unix_allowlist : string list;
       (** path prefixes where [Unix] syscalls are the point (rule P3):
-          the socket shell and the journal's file backend *)
+          the socket shell, the journal's file backend, and the
+          fork-driven real-socket tests in [test/test_server.ml] *)
   p2_paths : string list option;
       (** [None]: P2 applies everywhere outside [parallel_allowlist];
           [Some prefixes]: only under these (the reachable set from
           {!Reach.parallel_reachable}) *)
   comment_reach : int;
       (** lines above a binding an attaching comment may end (default 3) *)
+  o_core_paths : string list;
+      (** files whose Ack constructions O1 holds to journal-then-commit *)
+  digest_guard : (string * string) list;
+      (** (file prefix, submodule): kernel digests must run under a held
+          lock there (rule L4) *)
+  c_paths : string list;
+      (** path prefixes where secret-flow findings (C1/C2) are reported *)
+  secret_tag_paths : string list;
+      (** where the name ["tag"] seeds taint (a MAC tag, not a record tag) *)
 }
 
 val default_config : config
@@ -93,6 +118,25 @@ val new_findings : report -> finding list
 val render_human : report -> string
 
 val render_json : report -> string
+
+(** {1 Interprocedural analysis (families L, O, C)} *)
+
+module Program : sig
+  type t
+
+  val load : (string * string) list -> t
+  (** [(file, source)] pairs. Sources that do not parse are skipped (the
+      per-file pass reports those). Not reentrant, like {!lint_source}. *)
+
+  val analyze : ?config:config -> t -> finding list
+  (** Fixpoint over the call graph, then the L/O/C rules. Findings carry
+      the same occurrence-indexed fingerprints as the per-file pass and
+      honour near-site [(* ralint: allow ... *)] waivers. *)
+
+  val summaries : ?config:config -> t -> string
+  (** Debug dump: one line per function with its converged lock/journal
+      summary, plus a taint line where taint is non-trivial. *)
+end
 
 (** {1 Rule P2 scope} *)
 

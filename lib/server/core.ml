@@ -160,6 +160,8 @@ let submit t ~device ~seq report =
        the client outlived a crash we recovered from): re-acknowledge
        without touching the journal. *)
     t.deduped <- t.deduped + 1;
+    (* ralint: allow O1 — re-ack of a report (device, seq) already journaled
+       and committed before its first Ack; nothing new to make durable *)
     Wire.Ack { device; seq }
   end
   else if Queue.length t.queue >= t.config.capacity then begin

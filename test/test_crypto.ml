@@ -225,6 +225,9 @@ let test_digest_many_lane_validation () =
     (Invalid_argument "Sha256_multi.digest_many: lanes must be 1, 2 or 4")
     (fun () -> ignore (Sha256_multi.digest_many ~lanes:3 [| Bytes.empty |]))
 
+(* cross-check: this test IS the cross-check — unsafe_load* diffed against
+   the bounds-checked load* on every offset *)
+(* bounds: i ranges over 0..24 of a 32-byte buffer, so i+7 <= 31 *)
 let test_unsafe_load_matches_checked () =
   let b = Bytes.init 32 (fun i -> Char.chr ((i * 37 + 5) land 0xFF)) in
   for i = 0 to 24 do

@@ -233,6 +233,297 @@ let baseline_roundtrip =
     (fun entries ->
       Ra_lint.baseline_of_json (Ra_lint.baseline_to_json entries) = entries)
 
+(* --- interprocedural families L, O, C (Program) -------------------------- *)
+
+let plint ?config sources =
+  Ra_lint.Program.analyze ?config (Ra_lint.Program.load sources)
+
+let sorted_rules findings = List.sort compare (rules findings)
+
+(* family L: lock discipline *)
+
+let store_file body = [ ("lib/cache/ra_cache.ml", "module Store = struct\n" ^ body ^ "end\n") ]
+
+let l_positive () =
+  check rules_testable "direct double acquire fires L1" [ "L1" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let f t = Mutex.lock t.mutex; Mutex.lock t.mutex; Mutex.unlock t.mutex\n")));
+  check rules_testable "double acquire through a callee fires L1" [ "L1" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let inner t = Mutex.lock t.mutex; Mutex.unlock t.mutex\n\
+             \  let outer t = Mutex.lock t.mutex; inner t; Mutex.unlock t.mutex\n")));
+  check rules_testable "opposite acquisition orders fire L2" [ "L2" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let ab t = Mutex.lock t.m1; Mutex.lock t.m2; Mutex.unlock t.m2; Mutex.unlock t.m1\n\
+             \  let ba t = Mutex.lock t.m2; Mutex.lock t.m1; Mutex.unlock t.m1; Mutex.unlock t.m2\n")));
+  check rules_testable "blocking syscall under a lock fires L3" [ "L3" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let f t = Mutex.lock t.mutex; Unix.sleep 1; Mutex.unlock t.mutex\n")));
+  check rules_testable "blocking callee under a lock fires L3" [ "L3" ]
+    (sorted_rules
+       (plint
+          [ ( "lib/cache/ra_cache.ml",
+              "module Store = struct\n\
+              \  let slow () = Unix.sleep 1\n\
+              \  let f t = Mutex.lock t.mutex; slow (); Mutex.unlock t.mutex\nend\n" ) ]));
+  check rules_testable "fsync through Disk under a lock fires L3" [ "L3" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let f t d = Mutex.lock t.mutex; d.Disk.sync d; Mutex.unlock t.mutex\n")));
+  check rules_testable "digest hoisted out of the stripe lock fires L4" [ "L4" ]
+    (sorted_rules
+       (plint
+          (store_file
+             "  let compute t b = Algo.digest t.h b\n\
+             \  let digest t b =\n\
+             \    let d = compute t b in\n\
+             \    Mutex.lock t.mutex; t.hits <- t.hits + 1; Mutex.unlock t.mutex; d\n")))
+
+let l_negative () =
+  check rules_testable "compute-inside-the-lock is clean" []
+    (sorted_rules
+       (plint
+          (store_file
+             "  let compute t b = Algo.digest t.h b\n\
+             \  let digest t b =\n\
+             \    Mutex.lock t.mutex;\n\
+             \    let d = compute t b in\n\
+             \    Mutex.unlock t.mutex; d\n")));
+  check rules_testable "unlock before the blocking call is clean" []
+    (sorted_rules
+       (plint
+          (store_file
+             "  let f t = Mutex.lock t.mutex; Mutex.unlock t.mutex; Unix.sleep 1\n")));
+  check rules_testable "Condition.wait releases the lock: not L3" []
+    (sorted_rules
+       (plint
+          (store_file
+             "  let f t = Mutex.lock t.mutex; Condition.wait t.cond t.mutex; Mutex.unlock t.mutex\n")));
+  check rules_testable "balanced locking inside a lambda is clean" []
+    (sorted_rules
+       (plint
+          (store_file
+             "  let sum t f =\n\
+             \    Array.fold_left\n\
+             \      (fun acc s -> Mutex.lock s.mutex; let v = f s in Mutex.unlock s.mutex; acc + v)\n\
+             \      0 t.stripes\n")));
+  check rules_testable "consistent acquisition order is not L2" []
+    (sorted_rules
+       (plint
+          (store_file
+             "  let ab t = Mutex.lock t.m1; Mutex.lock t.m2; Mutex.unlock t.m2; Mutex.unlock t.m1\n\
+             \  let ab2 t = Mutex.lock t.m1; Mutex.lock t.m2; Mutex.unlock t.m2; Mutex.unlock t.m1\n")));
+  check rules_testable "digest outside the guarded scope is not L4" []
+    (sorted_rules
+       (plint
+          [ ("lib/core/measure.ml", "let hash h b = Algo.digest h b\n") ]))
+
+(* family O: protocol order *)
+
+let core_file body = [ ("lib/server/core.ml", "module J = Ra_journal.Journal\n" ^ body) ]
+
+let o_positive () =
+  check rules_testable "Ack with no journal append fires O1" [ "O1" ]
+    (sorted_rules (plint (core_file "let submit t d = Wire.Ack d\n")));
+  check rules_testable "Ack after append but before commit fires O1" [ "O1" ]
+    (sorted_rules
+       (plint (core_file "let submit j d = J.append j d; Wire.Ack d\n")));
+  check rules_testable "Ack on one unjournaled branch fires O1" [ "O1" ]
+    (sorted_rules
+       (plint
+          (core_file
+             "let submit j d ok =\n\
+             \  if ok then begin J.append j d; J.commit j end;\n\
+             \  Wire.Ack d\n")));
+  check rules_testable "Journal.restart without ~validate fires O2" [ "O2" ]
+    (sorted_rules
+       (plint (core_file "let recover disk = J.restart disk ~keep:3\n")))
+
+let o_negative () =
+  check rules_testable "append+commit then Ack is clean" []
+    (sorted_rules
+       (plint
+          (core_file "let submit j d = J.append j d; J.commit j; Wire.Ack d\n")));
+  check rules_testable "journaling through a helper is clean" []
+    (sorted_rules
+       (plint
+          (core_file
+             "let persist j d = J.append j d; J.commit j\n\
+              let submit j d = persist j d; Wire.Ack d\n")));
+  check rules_testable "reject branches owe no journal entry" []
+    (sorted_rules
+       (plint
+          (core_file
+             "let submit j d ok =\n\
+             \  if not ok then Wire.Rejected \"bad\"\n\
+             \  else begin J.append j d; J.commit j; Wire.Ack d end\n")));
+  check rules_testable "diverging branches drop out of the join" []
+    (sorted_rules
+       (plint
+          (core_file
+             "let submit j d ok =\n\
+             \  if not ok then failwith \"bad\"\n\
+             \  else begin J.append j d; J.commit j end;\n\
+             \  Wire.Ack d\n")));
+  check rules_testable "Ack outside lib/server Core is out of scope" []
+    (sorted_rules
+       (plint [ ("bin/loadgen.ml", "let expect d = Wire.Ack d\n") ]));
+  check rules_testable "restart with ~validate is clean" []
+    (sorted_rules
+       (plint
+          (core_file
+             "let recover disk = J.restart ~validate:(fun _ -> true) disk ~keep:3\n")))
+
+(* The regression the family exists for: a refactor of the real submit
+   shape that hoists the Ack above the journal write must fail lint. *)
+let o_reordered_core () =
+  let reordered =
+    "module J = Ra_journal.Journal\n\
+     let submit t j device seq report =\n\
+    \  if seq < 1 then Wire.Rejected \"sequence numbers start at 1\"\n\
+    \  else begin\n\
+    \    let ack = Wire.Ack { device; seq } in\n\
+    \    J.append j (record device seq report);\n\
+    \    J.commit j;\n\
+    \    ack\n\
+    \  end\n"
+  and ordered =
+    "module J = Ra_journal.Journal\n\
+     let submit t j device seq report =\n\
+    \  if seq < 1 then Wire.Rejected \"sequence numbers start at 1\"\n\
+    \  else begin\n\
+    \    J.append j (record device seq report);\n\
+    \    J.commit j;\n\
+    \    Wire.Ack { device; seq }\n\
+    \  end\n"
+  in
+  check rules_testable "reordered Core submit fires O1" [ "O1" ]
+    (sorted_rules (plint [ ("lib/server/core.ml", reordered) ]));
+  check rules_testable "journal-before-Ack submit is clean" []
+    (sorted_rules (plint [ ("lib/server/core.ml", ordered) ]))
+
+(* family C: secret flow *)
+
+let crypto_file body = [ ("lib/crypto/fixture.ml", body) ]
+
+let c_positive () =
+  check rules_testable "= on a key fires C1" [ "C1" ]
+    (sorted_rules (plint (crypto_file "let check ~key probe = key = probe\n")));
+  check rules_testable "Bytes.equal on a MAC tag fires C1" [ "C1" ]
+    (sorted_rules
+       (plint (crypto_file "let verify ~tag probe = Bytes.equal tag probe\n")));
+  check rules_testable "comparing a MAC producer's output fires C1" [ "C1" ]
+    (sorted_rules
+       (plint
+          (crypto_file
+             "let verify ~key msg probe = Bytes.equal probe (Hmac.Sha256.mac ~key msg)\n")));
+  check rules_testable "taint crossing into a comparing helper fires C1" [ "C1" ]
+    (sorted_rules
+       (plint
+          (crypto_file
+             "let eq a b = Bytes.equal a b\n\
+              let verify ~key probe = eq key probe\n")));
+  check rules_testable "taint through Bytes plumbing fires C1" [ "C1" ]
+    (sorted_rules
+       (plint
+          (crypto_file
+             "let check ~key probe = Bytes.equal (Bytes.sub key 0 16) probe\n")));
+  check rules_testable "a secret in an exception message fires C2" [ "C2" ]
+    (sorted_rules
+       (plint (crypto_file "let boom ~key = failwith (Bytes.to_string key)\n")))
+
+let c_negative () =
+  check rules_testable "constant_time_equal is the sanctioned sink" []
+    (sorted_rules
+       (plint
+          (crypto_file
+             "let verify ~key probe = Bytesutil.constant_time_equal key probe\n")));
+  check rules_testable "comparing public values is clean" []
+    (sorted_rules
+       (plint (crypto_file "let same a b = Bytes.equal a b\n")));
+  check rules_testable "Nat.compare on curve coordinates is not a sink" []
+    (sorted_rules
+       (plint
+          [ ("lib/pk/fixture.ml", "let le ~key other = Nat.compare key other <= 0\n") ]));
+  check rules_testable "a journal record tag is not a MAC tag" []
+    (sorted_rules
+       (plint
+          [ ( "lib/server/replay.ml",
+              "let is_report ev report_tag = ev.Ev.tag = report_tag\n" ) ]));
+  check rules_testable "an Error-branch message does not inherit Ok taint" []
+    (sorted_rules
+       (plint
+          [ ( "lib/server/replay.ml",
+              "let explain t d r =\n\
+              \  match World.verify t ~device:d r with\n\
+              \  | Ok (v, mac) -> Ok v\n\
+              \  | Error e -> Error (Printf.sprintf \"replay failed: %s\" e)\n" );
+            ( "lib/server/world.ml",
+              "let verify t ~device r = Ok (0, Hmac.Sha256.mac ~key:t.key r)\n" )
+          ]));
+  check rules_testable "C findings stay inside the configured paths" []
+    (sorted_rules
+       (plint [ ("lib/core/fixture.ml", "let check ~key probe = key = probe\n") ]))
+
+(* interprocedural waivers: near-site only *)
+
+let program_waivers () =
+  check rules_testable "a waiver directly above the flagged line holds" []
+    (sorted_rules
+       (plint
+          (core_file
+             "let submit t d =\n\
+             \  (* ralint: allow O1 -- re-ack of an already-durable report *)\n\
+             \  Wire.Ack d\n")));
+  check rules_testable "a function-level waiver does not cover the body" [ "O1" ]
+    (sorted_rules
+       (plint
+          (core_file
+             "(* ralint: allow O1 -- too far from the site to count *)\n\
+              let submit t d =\n\
+             \  let x = ignore t in\n\
+             \  ignore x;\n\
+             \  Wire.Ack d\n")))
+
+(* qcheck: interprocedural fingerprints are stable under pure line moves *)
+
+let program_fingerprints () =
+  (* two findings with the same (rule, token) must get occurrence indices *)
+  let fs =
+    plint
+      (core_file "let a t d = Wire.Ack d\nlet b t d = Wire.Ack d\n")
+  in
+  check (Alcotest.list Alcotest.string) "occurrence-indexed fingerprints"
+    [ "O1:lib/server/core.ml:Wire.Ack#0"; "O1:lib/server/core.ml:Wire.Ack#1" ]
+    (List.map (fun f -> f.Ra_lint.fingerprint) fs)
+
+let program_fingerprints_stable =
+  QCheck.Test.make ~count:40
+    ~name:"interprocedural fingerprints stable under line moves"
+    QCheck.(int_bound 8)
+    (fun n ->
+      let pad = String.concat "" (List.init n (fun _ -> "(* moved *)\n")) in
+      let body =
+        "let persist j d = J.append j d; J.commit j\n\
+         let a t d = Wire.Ack d\n\
+         let b j d = J.append j d; Wire.Ack d\n"
+      in
+      let fps src =
+        List.map
+          (fun f -> f.Ra_lint.fingerprint)
+          (plint (core_file src))
+      in
+      fps body = fps (pad ^ body))
+
 (* --- repo-level invariants ----------------------------------------------- *)
 
 let reachability () =
@@ -274,6 +565,19 @@ let () =
           Alcotest.test_case "fingerprints" `Quick fingerprints;
           Alcotest.test_case "parse error" `Quick parse_error;
           Alcotest.test_case "reachability" `Quick reachability;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "L positive" `Quick l_positive;
+          Alcotest.test_case "L negative" `Quick l_negative;
+          Alcotest.test_case "O positive" `Quick o_positive;
+          Alcotest.test_case "O negative" `Quick o_negative;
+          Alcotest.test_case "reordered Core regression" `Quick o_reordered_core;
+          Alcotest.test_case "C positive" `Quick c_positive;
+          Alcotest.test_case "C negative" `Quick c_negative;
+          Alcotest.test_case "near-site waivers" `Quick program_waivers;
+          Alcotest.test_case "fingerprints" `Quick program_fingerprints;
+          qtest program_fingerprints_stable;
         ] );
       ( "baseline",
         [
